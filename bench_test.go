@@ -1,0 +1,294 @@
+// Benchmarks regenerating every table and figure of the VirtualSync
+// paper's evaluation, plus ablations of the design choices called out in
+// DESIGN.md. The expensive full-suite run (all ten circuits through
+// sizing, retiming, the VirtualSync period search and equivalence
+// simulation) is executed once per process and shared by the Table 1 and
+// Fig. 6/7/8 benchmarks; per-circuit wall times are what Table 1's t(s)
+// column reports.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkTable1 -v     # -v also logs the tables
+package virtualsync_test
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"virtualsync"
+	"virtualsync/internal/celllib"
+	"virtualsync/internal/core"
+	"virtualsync/internal/expt"
+	"virtualsync/internal/gen"
+	"virtualsync/internal/lp"
+	"virtualsync/internal/sim"
+	"virtualsync/internal/sta"
+)
+
+var (
+	suiteOnce sync.Once
+	suiteRows []*expt.CircuitResult
+	suiteErr  error
+)
+
+// suite runs the full benchmark suite once per process and persists the
+// regenerated tables/figures under results/.
+func suite(b *testing.B) []*expt.CircuitResult {
+	b.Helper()
+	suiteOnce.Do(func() {
+		cfg := expt.DefaultConfig()
+		cfg.Progress = os.Stderr
+		suiteRows, suiteErr = expt.RunSuite(nil, cfg)
+		if suiteErr == nil {
+			_ = os.MkdirAll("results", 0o755)
+			_ = os.WriteFile("results/table1.txt", []byte(expt.FormatTable1(suiteRows)), 0o644)
+			_ = os.WriteFile("results/fig6.txt", []byte(expt.FormatFig6(suiteRows)), 0o644)
+			_ = os.WriteFile("results/fig7.txt", []byte(expt.FormatFig7(suiteRows)), 0o644)
+			_ = os.WriteFile("results/fig8.txt", []byte(expt.FormatFig8(suiteRows)), 0o644)
+			var csvBuf strings.Builder
+			if err := expt.WriteCSV(&csvBuf, suiteRows); err == nil {
+				_ = os.WriteFile("results/table1.csv", []byte(csvBuf.String()), 0o644)
+			}
+		}
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suiteRows
+}
+
+// BenchmarkTable1 regenerates the paper's Table 1: per-circuit critical
+// parts, inserted delay units, period reduction (nt) and area delta (na)
+// versus the retiming&sizing baseline.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := suite(b)
+		avg := 0.0
+		for _, r := range rows {
+			avg += r.NT
+		}
+		avg /= float64(len(rows))
+		b.ReportMetric(avg, "avg-nt-%")
+		if i == 0 {
+			b.Log("\n" + expt.FormatTable1(rows))
+		}
+	}
+}
+
+// BenchmarkFig6BufferReplacement regenerates Fig. 6: the number of
+// sequential delay units before and after the buffer-replacement pass.
+func BenchmarkFig6BufferReplacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := suite(b)
+		before, after := 0, 0
+		for _, r := range rows {
+			before += r.UnitsBeforeReplace
+			after += r.UnitsAfterReplace
+		}
+		b.ReportMetric(float64(before), "units-before")
+		b.ReportMetric(float64(after), "units-after")
+		if i == 0 {
+			b.Log("\n" + expt.FormatFig6(rows))
+		}
+	}
+}
+
+// BenchmarkFig7AreaRatio regenerates Fig. 7: inserted area after buffer
+// replacement as a percentage of the area before it.
+func BenchmarkFig7AreaRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := suite(b)
+		worst := 0.0
+		for _, r := range rows {
+			if r.AreaRatioPct > worst {
+				worst = r.AreaRatioPct
+			}
+		}
+		b.ReportMetric(worst, "worst-area-ratio-%")
+		if i == 0 {
+			b.Log("\n" + expt.FormatFig7(rows))
+		}
+	}
+}
+
+// BenchmarkFig8AreaSamePeriod regenerates Fig. 8: area versus
+// retiming&sizing when VirtualSync targets the baseline's own period.
+func BenchmarkFig8AreaSamePeriod(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := suite(b)
+		n, rel := 0, 0.0
+		for _, r := range rows {
+			if r.BaselineAreaSamePeriod > 0 {
+				rel += r.AreaSamePeriod / r.BaselineAreaSamePeriod
+				n++
+			}
+		}
+		if n > 0 {
+			b.ReportMetric(rel/float64(n), "avg-rel-area")
+		}
+		if i == 0 {
+			b.Log("\n" + expt.FormatFig8(rows))
+		}
+	}
+}
+
+// BenchmarkFig1Motivation regenerates the paper's Fig. 1 period ladder
+// (original / sized / retimed&sized / VirtualSync).
+func BenchmarkFig1Motivation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := expt.RunFig1(core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.VirtualSync, "T-vsync")
+		if i == 0 {
+			b.Log("\n" + expt.FormatFig1(f))
+			_ = os.MkdirAll("results", 0o755)
+			_ = os.WriteFile("results/fig1.txt", []byte(expt.FormatFig1(f)), 0o644)
+		}
+	}
+}
+
+// BenchmarkFig3Anchors regenerates the Fig. 3 relative-timing-reference
+// worked example.
+func BenchmarkFig3Anchors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := expt.RunFig3(core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !f.EquivOK {
+			b.Fatal("Fig. 3 circuit not equivalent after optimization")
+		}
+		if i == 0 {
+			b.Log("\n" + expt.FormatFig3(f))
+			_ = os.MkdirAll("results", 0o755)
+			_ = os.WriteFile("results/fig3.txt", []byte(expt.FormatFig3(f)), 0o644)
+		}
+	}
+}
+
+// BenchmarkFig2DelayUnits regenerates Fig. 2: the transfer
+// characteristics of the three delay-unit types.
+func BenchmarkFig2DelayUnits(b *testing.B) {
+	u := core.UnitTiming{T: 10, Phi: 0, Duty: 0.5, Tcq: 3, Tdq: 1, Tsu: 1, Th: 1, Delay: 2}
+	for i := 0; i < b.N; i++ {
+		pts := expt.RunFig2(u, 101)
+		if len(pts) != 101 {
+			b.Fatal("bad sample count")
+		}
+		if i == 0 {
+			b.Log("\n" + expt.FormatFig2(expt.RunFig2(u, 21)))
+			_ = os.MkdirAll("results", 0o755)
+			_ = os.WriteFile("results/fig2.txt", []byte(expt.FormatFig2(expt.RunFig2(u, 41))), 0o644)
+		}
+	}
+}
+
+// ablate runs the full flow on one representative circuit with modified
+// options and reports the period reduction.
+func ablate(b *testing.B, name string, mod func(*core.Options)) {
+	b.Helper()
+	cfg := expt.DefaultConfig()
+	cfg.VerifyCycles = 32
+	mod(&cfg.Opts)
+	spec, ok := gen.SpecByName(name)
+	if !ok {
+		b.Fatalf("unknown circuit %s", name)
+	}
+	for i := 0; i < b.N; i++ {
+		row, err := expt.RunCircuit(spec, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if row.EquivChecked && !row.EquivOK {
+			b.Fatalf("ablation broke functional equivalence (%d mismatches)", row.Mismatches)
+		}
+		b.ReportMetric(row.NT, "nt-%")
+		b.ReportMetric(float64(row.NF+row.NL), "seq-units")
+	}
+}
+
+// BenchmarkAblationNoLatches disables latch delay units (FF-only),
+// isolating the contribution of the latch's finer delay granularity.
+func BenchmarkAblationNoLatches(b *testing.B) {
+	ablate(b, "s5378", func(o *core.Options) { o.UseLatches = false })
+}
+
+// BenchmarkAblationNoBufferReplacement skips the paper's Section 5.4
+// area-recovery pass.
+func BenchmarkAblationNoBufferReplacement(b *testing.B) {
+	ablate(b, "s5378", func(o *core.Options) { o.BufferReplace = false })
+}
+
+// BenchmarkAblationSinglePhase restricts clock phases to {0} instead of
+// the paper's {0, T/4, T/2, 3T/4}.
+func BenchmarkAblationSinglePhase(b *testing.B) {
+	ablate(b, "s5378", func(o *core.Options) { o.Phases = []float64{0} })
+}
+
+// BenchmarkAblationNoGuardBand sets ru = rl = 1 (no process-variation
+// margin), the paper's model without its 10% guard band.
+func BenchmarkAblationNoGuardBand(b *testing.B) {
+	ablate(b, "s5378", func(o *core.Options) { o.Ru, o.Rl = 1.0, 1.0 })
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkSTA measures one full static timing analysis of the largest
+// suite circuit.
+func BenchmarkSTA(b *testing.B) {
+	c := virtualsync.GenerateBenchmark("s38584")
+	lib := celllib.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sta.Analyze(c, lib); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLPSolve measures the simplex on a mid-sized timing LP (the
+// phase-1 emulation model of s5378's critical part).
+func BenchmarkLPSolve(b *testing.B) {
+	m := lp.NewModel("bench")
+	// A chain of difference constraints with padding variables, shaped
+	// like the emulation LP.
+	n := 400
+	prev := m.AddVar("s0", 0, 0, 0)
+	for i := 1; i < n; i++ {
+		s := m.AddVar("s", -lp.Inf, lp.Inf, 0)
+		pad := m.AddVar("p", 0, lp.Inf, 1)
+		m.MustConstrain("c", []lp.Term{{Var: s, Coeff: 1}, {Var: prev, Coeff: -1}, {Var: pad, Coeff: -1}}, lp.GE, 5)
+		m.MustConstrain("u", []lp.Term{{Var: s, Coeff: 1}}, lp.LE, float64(5*i+100))
+		prev = s
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := m.Solve()
+		if err != nil || sol.Status != lp.Optimal {
+			b.Fatalf("%v %v", sol, err)
+		}
+	}
+}
+
+// BenchmarkSimulator measures event-driven simulation throughput on the
+// s13207 suite circuit.
+func BenchmarkSimulator(b *testing.B) {
+	c := virtualsync.GenerateBenchmark("s13207")
+	lib := celllib.Default()
+	stim := sim.RandomStimulus(c, 32, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := sim.New(c, lib, sim.Options{T: 500, Cycles: 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(stim); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Command vgen generates one of the built-in synthetic benchmark circuits
+// (or all of them) and writes it in the .bench dialect.
+//
+// Usage:
+//
+//	vgen -bench s5378 [-o s5378.bench]
+//	vgen -all -dir benchmarks/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"virtualsync"
+	"virtualsync/internal/gen"
+)
+
+func main() {
+	benchName := flag.String("bench", "", "benchmark name to generate")
+	all := flag.Bool("all", false, "generate the whole suite")
+	outPath := flag.String("o", "", "output file (default: stdout)")
+	dir := flag.String("dir", ".", "output directory for -all")
+	verilog := flag.Bool("verilog", false, "emit structural Verilog instead of .bench")
+	flag.Parse()
+
+	emit := func(f *os.File, c *virtualsync.Circuit) error {
+		if *verilog {
+			return virtualsync.WriteVerilog(f, c)
+		}
+		return virtualsync.WriteCircuit(f, c)
+	}
+
+	switch {
+	case *all:
+		for _, spec := range gen.PaperSuite() {
+			c := gen.MustGenerate(spec)
+			path := filepath.Join(*dir, spec.Name+".bench")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := emit(f, c); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			f.Close()
+			st := c.Stats()
+			fmt.Printf("%-12s -> %s (%d gates, %d FFs)\n", spec.Name, path, st.Gates, st.DFFs)
+		}
+	case *benchName != "":
+		c := virtualsync.GenerateBenchmark(*benchName)
+		out := os.Stdout
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := emit(out, c); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "vgen: need -bench <name> or -all; names: %v\n", virtualsync.BenchmarkNames())
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vgen:", err)
+	os.Exit(1)
+}

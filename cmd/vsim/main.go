@@ -1,0 +1,155 @@
+// Command vsim runs event-driven timing simulation of a circuit with
+// random stimulus and optionally writes a VCD waveform dump. It can also
+// compare two circuits (e.g. before/after VirtualSync) cycle for cycle.
+//
+// Usage:
+//
+//	vsim [-lib file] [-bench name | circuit.bench] [-T period] [-cycles n]
+//	     [-seed n] [-vcd out.vcd] [-compare other.bench -T2 period]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"virtualsync"
+	"virtualsync/internal/celllib"
+	"virtualsync/internal/netlist"
+	"virtualsync/internal/sim"
+)
+
+func main() {
+	libPath := flag.String("lib", "", "cell library file (default: built-in vs45)")
+	benchName := flag.String("bench", "", "generate a built-in benchmark instead of reading a file")
+	period := flag.Float64("T", 0, "clock period (default: STA minimum period)")
+	cycles := flag.Int("cycles", 32, "cycles to simulate")
+	seed := flag.Int64("seed", 1, "stimulus seed")
+	vcdPath := flag.String("vcd", "", "write a VCD waveform dump to this file")
+	compare := flag.String("compare", "", "second circuit to compare against")
+	period2 := flag.Float64("T2", 0, "clock period of the second circuit (default: same as -T)")
+	warmup := flag.Int("warmup", 8, "cycles to skip when comparing")
+	flag.Parse()
+
+	lib, err := loadLib(*libPath)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := loadCircuit(*benchName, flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	T := *period
+	if T <= 0 {
+		if T, err = virtualsync.MinPeriod(c, lib); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *compare != "" {
+		other, err := loadFile(*compare)
+		if err != nil {
+			fatal(err)
+		}
+		T2 := *period2
+		if T2 <= 0 {
+			T2 = T
+		}
+		ms, err := virtualsync.VerifyEquivalence(c, other, lib, T, T2, *cycles, *warmup, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if len(ms) == 0 {
+			fmt.Printf("equivalent over %d cycles (warmup %d)\n", *cycles, *warmup)
+			return
+		}
+		fmt.Printf("%d mismatches:\n", len(ms))
+		for i, m := range ms {
+			if i >= 10 {
+				fmt.Println("  ...")
+				break
+			}
+			fmt.Printf("  %v\n", m)
+		}
+		os.Exit(1)
+	}
+
+	stim := sim.RandomStimulus(c, *cycles, *seed)
+	opts := sim.Options{T: T, Cycles: *cycles}
+	var tr sim.Trace
+	if *vcdPath != "" {
+		f, err := os.Create(*vcdPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err = sim.DumpVCD(c, lib, opts, stim, f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("waveforms written to %s\n", *vcdPath)
+	} else {
+		s, err := sim.New(c, lib, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if tr, err = s.Run(stim); err != nil {
+			fatal(err)
+		}
+	}
+
+	// Print flip-flop and output traces as bit strings.
+	names := make([]string, 0, len(tr))
+	for n := range tr {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("%-24s ", n)
+		for _, v := range tr[n] {
+			if v {
+				fmt.Print("1")
+			} else {
+				fmt.Print("0")
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func loadLib(path string) (*celllib.Library, error) {
+	if path == "" {
+		return celllib.Default(), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return celllib.ParseLibrary(f)
+}
+
+func loadCircuit(benchName, path string) (*netlist.Circuit, error) {
+	if benchName != "" {
+		return virtualsync.GenerateBenchmark(benchName), nil
+	}
+	if path == "" {
+		return nil, fmt.Errorf("need a circuit file or -bench name")
+	}
+	return loadFile(path)
+}
+
+func loadFile(path string) (*netlist.Circuit, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return netlist.Parse(f, path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Command vsta runs static timing analysis on a circuit and prints the
+// minimum clock period, the critical path and any hold violations.
+//
+// Usage:
+//
+//	vsta [-lib file] [-bench name] [circuit.bench]
+//
+// The circuit comes from a .bench file argument or, with -bench, from the
+// built-in benchmark generator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"virtualsync"
+)
+
+func main() {
+	libPath := flag.String("lib", "", "cell library file (default: built-in vs45)")
+	benchName := flag.String("bench", "", "generate a built-in benchmark instead of reading a file")
+	period := flag.Float64("T", 0, "report slacks at this period (default: the minimum period)")
+	worst := flag.Int("worst", 3, "number of worst endpoints to report")
+	flag.Parse()
+
+	lib, err := loadLib(*libPath)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := loadCircuit(*benchName, flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	r, err := virtualsync.AnalyzeTiming(c, lib)
+	if err != nil {
+		fatal(err)
+	}
+	st := c.Stats()
+	fmt.Printf("circuit %s: %d inputs, %d outputs, %d gates, %d FFs, %d latches\n",
+		c.Name, st.Inputs, st.Outputs, st.Gates, st.DFFs, st.Latches)
+	T := *period
+	if T <= 0 {
+		T = r.MinPeriod
+	}
+	fmt.Print(r.FormatReport(c, lib, T, *worst))
+	if len(r.HoldViolations) > 0 {
+		fmt.Printf("hold violations at %d endpoints:\n", len(r.HoldViolations))
+		for _, id := range r.HoldViolations {
+			fmt.Printf("  %s\n", c.Node(id).Name)
+		}
+		os.Exit(1)
+	}
+}
+
+func loadLib(path string) (*virtualsync.Library, error) {
+	if path == "" {
+		return virtualsync.DefaultLibrary(), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return virtualsync.LoadLibrary(f)
+}
+
+func loadCircuit(benchName, path string) (*virtualsync.Circuit, error) {
+	if benchName != "" {
+		return virtualsync.GenerateBenchmark(benchName), nil
+	}
+	if path == "" {
+		return nil, fmt.Errorf("need a circuit file or -bench name (one of %v)", virtualsync.BenchmarkNames())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return virtualsync.LoadCircuit(f, path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vsta:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,123 @@
+// Command vsync runs the full VirtualSync flow on a circuit: the
+// retiming&sizing baseline, the period search, validation, and (optionally)
+// functional-equivalence simulation, then writes the optimized netlist.
+//
+// Usage:
+//
+//	vsync [-lib file] [-bench name] [-o out.bench] [-step 0.005]
+//	      [-frac 0.95] [-no-latches] [-no-replace] [-verify n] [circuit.bench]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"virtualsync"
+)
+
+func main() {
+	libPath := flag.String("lib", "", "cell library file (default: built-in vs45)")
+	benchName := flag.String("bench", "", "generate a built-in benchmark instead of reading a file")
+	outPath := flag.String("o", "", "write the optimized circuit to this file")
+	step := flag.Float64("step", 0.005, "period-search step fraction (paper: 0.005)")
+	frac := flag.Float64("frac", 0.95, "critical-path selection fraction")
+	noLatches := flag.Bool("no-latches", false, "disable latch delay units")
+	noReplace := flag.Bool("no-replace", false, "disable buffer replacement (paper 5.4)")
+	verify := flag.Int("verify", 48, "equivalence-simulation cycles (0 to skip)")
+	skipBaseline := flag.Bool("skip-baseline", false, "assume the input is already retimed and sized")
+	flag.Parse()
+
+	lib, err := loadLib(*libPath)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := loadCircuit(*benchName, flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	base := c
+	if !*skipBaseline {
+		b, err := virtualsync.RetimeAndSize(c, lib)
+		if err != nil {
+			fatal(err)
+		}
+		base = b.Circuit
+		fmt.Printf("retiming&sizing baseline: T = %.2f, area = %.1f\n", b.Period, b.Area)
+	}
+
+	opts := virtualsync.DefaultOptions()
+	opts.SelectFrac = *frac
+	opts.UseLatches = !*noLatches
+	opts.BufferReplace = !*noReplace
+
+	res, err := virtualsync.OptimizeStep(base, lib, opts, *step)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("VirtualSync: T %.2f -> %.2f (%.1f%% reduction)\n",
+		res.BaselinePeriod, res.Period, res.PeriodReductionPct())
+	fmt.Printf("  removed FFs: %d; inserted: %d FF units, %d latch units, %d buffers (%d chains replaced)\n",
+		res.RemovedFFs, res.NumFFUnits, res.NumLatchUnits, res.NumBuffers, res.BufferReplaced)
+	fmt.Printf("  area: %.1f -> %.1f (%+.2f%%)\n", res.BaselineArea, res.Area, res.AreaDeltaPct())
+	fmt.Printf("  runtime: %v\n", res.Runtime)
+
+	if *verify > 0 {
+		ms, err := virtualsync.VerifyEquivalence(base, res.Circuit, lib,
+			res.BaselinePeriod, res.Period, *verify, 8, 1)
+		if err != nil {
+			fatal(err)
+		}
+		if len(ms) == 0 {
+			fmt.Printf("  functional equivalence: OK over %d cycles\n", *verify)
+		} else {
+			fmt.Printf("  functional equivalence: %d MISMATCHES (first: %v)\n", len(ms), ms[0])
+			os.Exit(1)
+		}
+	}
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := virtualsync.WriteCircuit(f, res.Circuit); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("optimized circuit written to %s\n", *outPath)
+	}
+}
+
+func loadLib(path string) (*virtualsync.Library, error) {
+	if path == "" {
+		return virtualsync.DefaultLibrary(), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return virtualsync.LoadLibrary(f)
+}
+
+func loadCircuit(benchName, path string) (*virtualsync.Circuit, error) {
+	if benchName != "" {
+		return virtualsync.GenerateBenchmark(benchName), nil
+	}
+	if path == "" {
+		return nil, fmt.Errorf("need a circuit file or -bench name (one of %v)", virtualsync.BenchmarkNames())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return virtualsync.LoadCircuit(f, path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vsync:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module virtualsync
+
+go 1.22

@@ -1,0 +1,117 @@
+// Package core implements the VirtualSync timing model and optimization
+// flow (DAC 2018): flip-flops inside a circuit's critical part are removed
+// and the minimum set of delay units — buffers, flip-flops and latches —
+// is re-inserted so that every signal still reaches the boundary
+// flip-flops in its original clock cycle, while the clock period drops
+// below the retiming&sizing limit.
+package core
+
+import "math"
+
+// UnitKind distinguishes the three delay-unit types of the paper's Fig. 2.
+type UnitKind int
+
+// Delay-unit kinds.
+const (
+	UnitNone UnitKind = iota
+	UnitBuffer
+	UnitFF
+	UnitLatch
+)
+
+func (k UnitKind) String() string {
+	switch k {
+	case UnitNone:
+		return "none"
+	case UnitBuffer:
+		return "buffer"
+	case UnitFF:
+		return "ff"
+	case UnitLatch:
+		return "latch"
+	}
+	return "unit?"
+}
+
+// UnitTiming bundles the parameters needed to evaluate a delay unit's
+// transfer characteristic.
+type UnitTiming struct {
+	T     float64 // clock period
+	Phi   float64 // phase shift of the unit's clock, absolute time in [0,T)
+	Duty  float64 // duty cycle D in (0,1); latch transparent in [NT+phi+DT, (N+1)T+phi)
+	Tcq   float64 // clock-to-q
+	Tdq   float64 // data-to-q (latch, transparent)
+	Tsu   float64 // setup time
+	Th    float64 // hold time
+	Delay float64 // combinational delay (buffer unit)
+}
+
+// BufferOut is the transfer characteristic of a combinational delay unit
+// (paper Fig. 2(a)): the output arrival is linear in the input arrival, so
+// the gap between two signals is preserved.
+func (u UnitTiming) BufferOut(in float64) float64 { return in + u.Delay }
+
+// FFOut is the transfer characteristic of a flip-flop delay unit (paper
+// Fig. 2(b)): any input arriving within the legal window [N*T+phi+th,
+// (N+1)*T+phi-tsu] leaves at (N+1)*T+phi+tcq, collapsing arrival-time gaps
+// to zero. ok reports whether the input falls in a legal window; N is the
+// window index.
+func (u UnitTiming) FFOut(in float64) (out float64, n int, ok bool) {
+	// Find the window containing in: N*T+phi+th <= in <= (N+1)*T+phi-tsu.
+	nf := math.Floor((in - u.Phi - u.Th) / u.T)
+	n = int(nf)
+	lo := nf*u.T + u.Phi + u.Th
+	hi := (nf+1)*u.T + u.Phi - u.Tsu
+	if in < lo-1e-9 || in > hi+1e-9 {
+		return 0, n, false
+	}
+	return (nf+1)*u.T + u.Phi + u.Tcq, n, true
+}
+
+// LatchOut is the transfer characteristic of a level-sensitive latch
+// (paper Fig. 2(c)): non-transparent in the first D-less part of the
+// period, transparent afterwards. Inputs arriving while the latch is
+// closed leave at the opening edge plus tcq; inputs arriving while it is
+// transparent flow through after tdq. ok reports a legal arrival
+// (respecting hold after the closing edge and setup before it).
+func (u UnitTiming) LatchOut(in float64) (out float64, n int, ok bool) {
+	nf := math.Floor((in - u.Phi - u.Th) / u.T)
+	n = int(nf)
+	lo := nf*u.T + u.Phi + u.Th
+	hi := (nf+1)*u.T + u.Phi - u.Tsu
+	if in < lo-1e-9 || in > hi+1e-9 {
+		return 0, n, false
+	}
+	open := nf*u.T + u.Phi + u.Duty*u.T
+	// While non-transparent the data waits for the opening edge; in the
+	// transparent phase it flows through after tdq, but never before the
+	// opening-edge response itself has propagated — this keeps the
+	// transfer characteristic monotone at the opening boundary.
+	return math.Max(open+u.Tcq, in+u.Tdq), n, true
+}
+
+// OutputGap evaluates the output gap of a unit for two signals arriving
+// with the given input gap, the fast one at fastIn (paper Fig. 2's x-axis
+// walk). It returns ok=false when either signal misses a legal window.
+func (u UnitTiming) OutputGap(kind UnitKind, fastIn, inputGap float64) (float64, bool) {
+	slowIn := fastIn + inputGap
+	switch kind {
+	case UnitBuffer:
+		return u.BufferOut(slowIn) - u.BufferOut(fastIn), true
+	case UnitFF:
+		of, nf, ok1 := u.FFOut(fastIn)
+		os, ns, ok2 := u.FFOut(slowIn)
+		if !ok1 || !ok2 || nf != ns {
+			return 0, false
+		}
+		return os - of, true
+	case UnitLatch:
+		of, nf, ok1 := u.LatchOut(fastIn)
+		os, ns, ok2 := u.LatchOut(slowIn)
+		if !ok1 || !ok2 || nf != ns {
+			return 0, false
+		}
+		return os - of, true
+	}
+	return inputGap, true
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"virtualsync/internal/celllib"
+	"virtualsync/internal/netlist"
+)
+
+// debugEnabled turns on period-search tracing via VSYNC_DEBUG=1.
+var debugEnabled = os.Getenv("VSYNC_DEBUG") != ""
+
+func debugf(format string, args ...interface{}) {
+	if debugEnabled {
+		fmt.Fprintf(os.Stderr, "vsync: "+format+"\n", args...)
+	}
+}
+
+// Result is a successful VirtualSync optimization.
+type Result struct {
+	Plan    *Plan
+	Circuit *netlist.Circuit // optimized netlist
+	Period  float64          // achieved clock period
+
+	BaselinePeriod float64 // minimum period of the input circuit (STA)
+	BaselineArea   float64
+	Area           float64
+
+	NumFFUnits     int // nf: flip-flop delay units in the optimized region
+	NumLatchUnits  int // nl
+	NumBuffers     int // nb
+	RemovedFFs     int
+	BufferReplaced int
+
+	// Pre-buffer-replacement state (paper Fig. 6/7): unit and buffer
+	// counts and the area of all inserted hardware before Section 5.4.
+	PreReplaceFFUnits    int
+	PreReplaceLatchUnits int
+	PreReplaceBuffers    int
+	PreReplaceArea       float64
+	// InsertedArea is the area of inserted units and buffers after
+	// replacement.
+	InsertedArea float64
+
+	Runtime time.Duration
+}
+
+// PeriodReductionPct is the paper's nt column: clock-period reduction
+// relative to the baseline, in percent.
+func (res *Result) PeriodReductionPct() float64 {
+	if res.BaselinePeriod == 0 {
+		return 0
+	}
+	return 100 * (res.BaselinePeriod - res.Period) / res.BaselinePeriod
+}
+
+// AreaDeltaPct is the paper's na column: area change relative to the
+// baseline, in percent (negative means smaller).
+func (res *Result) AreaDeltaPct() float64 {
+	if res.BaselineArea == 0 {
+		return 0
+	}
+	return 100 * (res.Area - res.BaselineArea) / res.BaselineArea
+}
+
+// OptimizeAtPeriod attempts to realize clock period T on the circuit's
+// critical part. It returns (nil, nil) when T is infeasible under the
+// VirtualSync model.
+func OptimizeAtPeriod(c *netlist.Circuit, lib *celllib.Library, T float64, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	r, err := Extract(c, lib, ExtractOptions{SelectFrac: opts.SelectFrac})
+	if err != nil {
+		return nil, err
+	}
+	return optimizeExtracted(r, c, lib, T, opts, nil, opts.BufferReplace)
+}
+
+func optimizeExtracted(r *Region, c *netlist.Circuit, lib *celllib.Library, T float64, opts Options, prev *Plan, doReplace bool) (*Result, error) {
+	start := time.Now()
+	// Logic outside the region is untouched and must still meet T under
+	// the same guard band.
+	if T < r.ExternalPeriod*opts.Ru-1e-9 {
+		return nil, nil
+	}
+	plan, err := optimizeRegion(r, T, opts, prev)
+	if err != nil {
+		return nil, err
+	}
+	if plan == nil {
+		return nil, nil
+	}
+	if err := plan.realize(); err != nil {
+		return nil, nil // discretization failed: treat T as infeasible
+	}
+	preFF, preLatch := plan.NumUnits()
+	preBufs := plan.NumBuffers()
+	preArea := plan.InsertedArea()
+	replaced := 0
+	if doReplace {
+		replaced = plan.replaceBuffers()
+	}
+	if vs := plan.Validate(); len(vs) > 0 {
+		return nil, fmt.Errorf("core: final plan invalid: %v", vs[0])
+	}
+	circuit, err := plan.Apply()
+	if err != nil {
+		return nil, err
+	}
+	baseArea, err := lib.CircuitArea(c)
+	if err != nil {
+		return nil, err
+	}
+	area, err := lib.CircuitArea(circuit)
+	if err != nil {
+		return nil, err
+	}
+	nf, nl := plan.NumUnits()
+	return &Result{
+		Plan:           plan,
+		Circuit:        circuit,
+		Period:         T,
+		BaselinePeriod: r.Baseline.MinPeriod * opts.Ru,
+		BaselineArea:   baseArea,
+		Area:           area,
+		NumFFUnits:     nf,
+		NumLatchUnits:  nl,
+		NumBuffers:     plan.NumBuffers(),
+		RemovedFFs:     len(r.Removed),
+		BufferReplaced: replaced,
+
+		PreReplaceFFUnits:    preFF,
+		PreReplaceLatchUnits: preLatch,
+		PreReplaceBuffers:    preBufs,
+		PreReplaceArea:       preArea,
+		InsertedArea:         plan.InsertedArea(),
+
+		Runtime: time.Since(start),
+	}, nil
+}
+
+// Optimize runs the paper's period search: starting from the circuit's
+// guard-banded baseline period (the caller typically provides a circuit
+// already optimized by retiming&sizing), the target period is reduced in
+// steps of stepFrac (paper: 0.5%) until the VirtualSync model becomes
+// infeasible, and the last feasible solution is returned.
+func Optimize(c *netlist.Circuit, lib *celllib.Library, opts Options, stepFrac float64) (*Result, error) {
+	if stepFrac <= 0 {
+		stepFrac = 0.005
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	r, err := Extract(c, lib, ExtractOptions{SelectFrac: opts.SelectFrac})
+	if err != nil {
+		return nil, err
+	}
+	// The model guards every delay with ru/rl margins, so the comparable
+	// baseline is the margined minimum period: every term of the classic
+	// period (tcq + path + tsu) scales by ru under the same guard band.
+	T0 := r.Baseline.MinPeriod * opts.Ru
+	var best *Result
+	// Two-stage search: coarse steps (8x the refine step) descend quickly
+	// to the infeasibility frontier, then the paper's fine steps refine
+	// it. Isolated infeasible steps can be buffer-quantization artifacts,
+	// so each stage tolerates a few consecutive failures before stopping.
+	var prev *Plan
+	tryAt := func(T float64) (*Result, error) {
+		if T <= 0 {
+			return nil, nil
+		}
+		t0 := time.Now()
+		// Buffer replacement is pure area recovery; it runs once on the
+		// final result, not at every probed period.
+		res, err := optimizeExtracted(r, c, lib, T, opts, prev, false)
+		if err == nil && res != nil {
+			// Retarget this plan's unit placements at the next period
+			// instead of re-running the full relaxation pipeline.
+			prev = res.Plan
+		}
+		debugf("T=%.2f feasible=%v hint=%v in %v", T, res != nil, prev != nil, time.Since(t0).Round(time.Millisecond))
+		return res, err
+	}
+	coarse := stepFrac * 8
+	lastFeasibleFrac := 0.0
+	fails := 0
+	for k := 0; fails < 2; k++ {
+		frac := coarse * float64(k)
+		if frac >= 1 {
+			break
+		}
+		res, err := tryAt(T0 * (1 - frac))
+		if err != nil {
+			return nil, err
+		}
+		if res == nil {
+			fails++
+			continue
+		}
+		fails = 0
+		best = res
+		lastFeasibleFrac = frac
+	}
+	fails = 0
+	for j := 1; fails < 4; j++ {
+		frac := lastFeasibleFrac + stepFrac*float64(j)
+		if frac >= 1 {
+			break
+		}
+		res, err := tryAt(T0 * (1 - frac))
+		if err != nil {
+			return nil, err
+		}
+		if res == nil {
+			fails++
+			continue
+		}
+		fails = 0
+		best = res
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: no feasible VirtualSync solution near the baseline period %g", T0)
+	}
+	if opts.BufferReplace {
+		// Re-run the winning period once with the area-recovery pass.
+		res, err := optimizeExtracted(r, c, lib, best.Period, opts, prev, true)
+		if err != nil {
+			return nil, err
+		}
+		if res != nil {
+			best = res
+		}
+	}
+	best.BaselinePeriod = T0
+	best.Runtime = time.Since(start)
+	return best, nil
+}

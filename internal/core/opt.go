@@ -1,0 +1,379 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"virtualsync/internal/lp"
+)
+
+// Plan is a realized VirtualSync solution for a region at period T: the
+// delay unit (if any), requested and realized buffer chain per edge, and
+// the assigned gate delays before and after discretization.
+type Plan struct {
+	R    *Region
+	T    float64
+	Opts Options
+
+	Unit       []Placement // per edge
+	XiReq      []float64   // per edge: continuous buffer-delay request
+	Chain      [][]int     // per edge: realized chain as buffer drive indices
+	ChainDelay []float64   // per edge: realized chain delay
+
+	GateDelayReq []float64 // per gate: continuous delay from the solver
+	GateDrive    []int     // per gate: discretized drive
+	GateDelay    []float64 // per gate: realized delay
+
+	// SdSet marks the edges that were legalized with the exact model,
+	// reusable as a hint for nearby target periods.
+	SdSet []bool
+}
+
+// NumUnits counts inserted sequential delay units by kind.
+func (p *Plan) NumUnits() (ffs, latches int) {
+	for _, u := range p.Unit {
+		switch u.Kind {
+		case UnitFF:
+			ffs++
+		case UnitLatch:
+			latches++
+		}
+	}
+	return
+}
+
+// NumBuffers counts inserted buffers over all chains.
+func (p *Plan) NumBuffers() int {
+	n := 0
+	for _, ch := range p.Chain {
+		n += len(ch)
+	}
+	return n
+}
+
+// InsertedArea returns the area of all inserted delay units and buffers.
+func (p *Plan) InsertedArea() float64 {
+	lib := p.R.Lib
+	bufCell := lib.Cell("BUF")
+	area := 0.0
+	for ei := range p.Unit {
+		switch p.Unit[ei].Kind {
+		case UnitFF:
+			area += lib.FF.Area
+		case UnitLatch:
+			area += lib.Latch.Area
+		}
+		for _, drive := range p.Chain[ei] {
+			area += bufCell.Options[drive].Area
+		}
+	}
+	return area
+}
+
+// gapTol is the threshold above which a Delta'/Delta difference marks an
+// edge as needing a sequential delay unit.
+func gapTol(T float64) float64 { return 1e-6*T + 1e-9 }
+
+// optimizeRegion runs phases 1-3 of the VirtualSync flow (emulation,
+// clock-to-q approximation with iterative lower bounds, exact-model
+// legalization) for target period T. It returns nil when T is infeasible.
+// prev, when non-nil, is a feasible plan from a nearby period: its unit
+// placements are retargeted directly (window indices free to move by one)
+// and the full pipeline runs only if that fails.
+func optimizeRegion(r *Region, T float64, opts Options, prev *Plan) (*Plan, error) {
+	if prev != nil {
+		if p, err := retargetPlan(r, T, opts, prev); err != nil {
+			return nil, err
+		} else if p != nil {
+			return p, nil
+		}
+		// Fall through to the full pipeline.
+	}
+	return optimizeRegionFull(r, T, opts)
+}
+
+// retargetPlan re-solves the timing LP with the previous plan's delay
+// units frozen in place (window indices may shift by one). It returns nil
+// when the placements do not transfer to the new period.
+func retargetPlan(r *Region, T float64, opts Options, prev *Plan) (*Plan, error) {
+	nE := len(r.Edges)
+	spec := &modelSpec{
+		T:      T,
+		opts:   opts,
+		modes:  make([]EdgeMode, nE),
+		fixed:  prev.Unit,
+		nSlack: 1,
+	}
+	for ei := range spec.modes {
+		spec.modes[ei] = ModeFixed
+	}
+	mv, sol, err := r.solveSpec(spec)
+	if err != nil || sol == nil {
+		return nil, err
+	}
+	p := &Plan{
+		R: r, T: T, Opts: opts,
+		Unit:         make([]Placement, nE),
+		XiReq:        make([]float64, nE),
+		Chain:        make([][]int, nE),
+		ChainDelay:   make([]float64, nE),
+		GateDelayReq: make([]float64, len(r.Gates)),
+		SdSet:        prev.SdSet,
+	}
+	for gi := range r.Gates {
+		p.GateDelayReq[gi] = mv.gateDelayOf(sol, gi)
+	}
+	for ei := 0; ei < nE; ei++ {
+		p.XiReq[ei] = sol.Value(mv.xi[ei])
+		p.Unit[ei] = prev.Unit[ei]
+		if p.Unit[ei].Kind != UnitNone {
+			pl, err := mv.chosenCase(sol, ei)
+			if err != nil {
+				return nil, err
+			}
+			p.Unit[ei] = pl
+		}
+	}
+	return p, nil
+}
+
+// regionBudget bounds one full-pipeline optimization attempt; targets
+// that cannot be settled in this time are treated as infeasible (the
+// period search simply stops a step earlier).
+const regionBudget = 100 * time.Second
+
+func optimizeRegionFull(r *Region, T float64, opts Options) (*Plan, error) {
+	deadline := time.Now().Add(regionBudget)
+	nE := len(r.Edges)
+	tol := gapTol(T)
+
+	phaseStart := time.Now()
+	var mv *modelVars
+	var sol *lp.Solution
+	inSd := make([]bool, nE)
+	{
+		// Phase 1: sequential-delay emulation (paper eq. 22-24).
+		spec := &modelSpec{T: T, opts: opts, modes: make([]EdgeMode, nE)}
+		var err error
+		mv, sol, err = r.solveSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		if sol == nil {
+			return nil, nil // infeasible at T
+		}
+		inS := make([]bool, nE)
+		maxGap := 0.0
+		for ei := 0; ei < nE; ei++ {
+			if g := mv.edgeGap(sol, ei); g > tol {
+				inS[ei] = true
+				if g > maxGap {
+					maxGap = g
+				}
+			}
+		}
+
+		// Phase 2: clock/data-to-q approximation with iteratively lowered
+		// gap bounds (paper Section 5.2).
+		if maxGap > 0 {
+			lb := T / 2
+			for iter := 0; iter < 6; iter++ {
+				spec := &modelSpec{T: T, opts: opts, modes: make([]EdgeMode, nE), gapLB: lb}
+				for ei := range spec.modes {
+					if inS[ei] {
+						spec.modes[ei] = ModeBinary
+					} else if iter < 2 {
+						// Keep the model small while the location set is
+						// still coarse; later iterations fall back to
+						// emulation everywhere to discover new locations.
+						spec.modes[ei] = ModePlain
+					}
+				}
+				mv, sol, err := r.solveSpec(spec)
+				if err != nil {
+					return nil, err
+				}
+				if sol == nil {
+					// Too-aggressive lower bound; relax it.
+					lb /= 2
+					if lb < tol {
+						lb = 0
+					}
+					continue
+				}
+				for ei := range r.Edges {
+					if inS[ei] && sol.Value(mv.x[ei]) > 0.5 {
+						inSd[ei] = true
+					}
+				}
+				// New gaps outside S mean more candidate locations.
+				grew := false
+				for ei := 0; ei < nE; ei++ {
+					if !inS[ei] && mv.edgeGap(sol, ei) > tol {
+						inS[ei] = true
+						grew = true
+					}
+				}
+				if !grew {
+					break
+				}
+				lb /= 2
+			}
+			anySd := false
+			for _, v := range inSd {
+				anySd = anySd || v
+			}
+			if !anySd {
+				// The approximation never placed a unit although gaps exist;
+				// legalize every candidate location instead.
+				copy(inSd, inS)
+			}
+		}
+	}
+
+	debugf("  phases 1-2 done in %v", time.Since(phaseStart).Round(time.Millisecond))
+	phaseStart = time.Now()
+	// Phase 3: exact-model legalization on Sd (paper Section 5.3),
+	// batched for scalability: a few edges get the full case-selection
+	// ILP at a time while earlier choices stay frozen. Other edges stay
+	// in the cheap pass-through mode first; only if that is infeasible
+	// does the round repeat with emulation everywhere so edges whose
+	// padding still shows a gap can join the queue.
+	const batch = 2
+	chosen := make(map[int]Placement)
+	var pending []int
+	for ei := 0; ei < nE; ei++ {
+		if inSd[ei] {
+			pending = append(pending, ei)
+		}
+	}
+	var finalMV *modelVars
+	var finalSol = sol
+	finalMV = mv
+	maxRounds := 4*nE + 4
+	if maxRounds > 40 {
+		maxRounds = 40
+	}
+	for round := 0; round < maxRounds; round++ {
+		if time.Now().After(deadline) {
+			return nil, nil // budget exhausted: treat T as infeasible
+		}
+		spec := &modelSpec{T: T, opts: opts, modes: make([]EdgeMode, nE), fixed: make([]Placement, nE)}
+		cur := pending
+		if len(cur) > batch {
+			cur = cur[:batch]
+		}
+		for ei := range spec.modes {
+			spec.modes[ei] = ModePlain
+		}
+		for _, ei := range cur {
+			spec.modes[ei] = ModeExact
+		}
+		for ei, pl := range chosen {
+			spec.modes[ei] = ModeFixed
+			spec.fixed[ei] = pl
+		}
+		mv, sol, err := r.solveSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		if sol == nil {
+			// Retry with emulation paddings everywhere: either a new
+			// location is needed (a gap will show) or T is infeasible.
+			for ei := range spec.modes {
+				if spec.modes[ei] == ModePlain {
+					spec.modes[ei] = ModeEmulate
+				}
+			}
+			mv, sol, err = r.solveSpec(spec)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if sol == nil {
+			if len(chosen) > 0 && len(cur) > 0 {
+				// Earlier frozen choices may conflict: retry this batch
+				// jointly with all previous locations un-frozen.
+				for ei := range chosen {
+					spec.modes[ei] = ModeExact
+				}
+				spec.fixed = make([]Placement, nE)
+				mv, sol, err = r.solveSpec(spec)
+				if err != nil {
+					return nil, err
+				}
+				if sol == nil {
+					return nil, nil
+				}
+				for ei := range chosen {
+					pl, err := mv.chosenCase(sol, ei)
+					if err != nil {
+						return nil, err
+					}
+					chosen[ei] = pl
+				}
+			} else {
+				return nil, nil // exact model infeasible at T
+			}
+		}
+		for _, ei := range cur {
+			pl, err := mv.chosenCase(sol, ei)
+			if err != nil {
+				return nil, err
+			}
+			chosen[ei] = pl
+		}
+		pending = pending[min(len(cur), len(pending)):]
+		finalMV, finalSol = mv, sol
+		// Residual emulation gaps become new legalization candidates.
+		for ei := 0; ei < nE; ei++ {
+			if spec.modes[ei] != ModeEmulate || inSd[ei] {
+				continue
+			}
+			if mv.edgeGap(sol, ei) > tol {
+				inSd[ei] = true
+				pending = append(pending, ei)
+			}
+		}
+		if len(pending) == 0 {
+			break
+		}
+	}
+	if len(pending) > 0 {
+		return nil, nil // legalization did not settle
+	}
+	debugf("  phase 3 done in %v", time.Since(phaseStart).Round(time.Millisecond))
+
+	// Decode the plan.
+	p := &Plan{
+		R: r, T: T, Opts: opts,
+		Unit:         make([]Placement, nE),
+		XiReq:        make([]float64, nE),
+		Chain:        make([][]int, nE),
+		ChainDelay:   make([]float64, nE),
+		GateDelayReq: make([]float64, len(r.Gates)),
+	}
+	for gi := range r.Gates {
+		p.GateDelayReq[gi] = finalMV.gateDelayOf(finalSol, gi)
+	}
+	p.SdSet = inSd
+	for ei := 0; ei < nE; ei++ {
+		p.XiReq[ei] = finalSol.Value(finalMV.xi[ei])
+		if pl, ok := chosen[ei]; ok {
+			p.Unit[ei] = pl
+		} else {
+			// Residual equal paddings act as pure combinational delay;
+			// fold them into the buffer request.
+			dl := finalSol.Value(finalMV.dl[ei])
+			dlE := finalSol.Value(finalMV.dlE[ei])
+			if math.Abs(dlE-dl) > 10*gapTol(T) {
+				return nil, fmt.Errorf("core: residual sequential gap %g on edge %d after legalization",
+					dlE-dl, ei)
+			}
+			p.XiReq[ei] += math.Min(dl, dlE)
+			p.Unit[ei] = Placement{Kind: UnitNone}
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"virtualsync/internal/celllib"
+	"virtualsync/internal/netlist"
+)
+
+// paperLib builds a library in the style of the paper's Fig. 1/3 examples:
+// fixed-delay cells W1..W9 (delay = digit) plus uniform defaults, flip-flop
+// timing tcq=3, tsu=1, th=1.
+func paperLib(t testing.TB) *celllib.Library {
+	t.Helper()
+	l := celllib.Uniform(4,
+		celllib.SeqTiming{Tcq: 3, Tsu: 1, Th: 1, Area: 4},
+		celllib.SeqTiming{Tcq: 2, Tdq: 1, Tsu: 1, Th: 1, Area: 3})
+	for d := 1; d <= 9; d++ {
+		name := "W" + string(rune('0'+d))
+		if _, err := l.AddCell(name, netlist.KindBuf, []celllib.Option{{Delay: float64(d), Area: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+// wavePipe builds the unbalanced pipeline used throughout the core tests:
+//
+//	in -> F1 -> g1(5) -> g2(6) -> g3(6) -> F2 -> g4(4) -> F3 -> out
+//	      F1 -> g5(2) ----------------------------^ (second input of g4)
+//
+// Classic minimum period: 3 + (5+6+6) + 1 = 21, limited by F1->F2.
+// Removing F1 and F2 lets the 17-delay wave spread over two cycles.
+func wavePipe(t testing.TB) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New("wavepipe")
+	in := c.MustAdd("in", netlist.KindInput)
+	f1 := c.MustAdd("F1", netlist.KindDFF, in.ID)
+	g1 := c.MustAdd("g1", netlist.KindBuf, f1.ID)
+	g1.Cell = "W5"
+	g2 := c.MustAdd("g2", netlist.KindBuf, g1.ID)
+	g2.Cell = "W6"
+	g3 := c.MustAdd("g3", netlist.KindBuf, g2.ID)
+	g3.Cell = "W6"
+	f2 := c.MustAdd("F2", netlist.KindDFF, g3.ID)
+	g5 := c.MustAdd("g5", netlist.KindBuf, f1.ID)
+	g5.Cell = "W2"
+	g4 := c.MustAdd("g4", netlist.KindAnd, f2.ID, g5.ID)
+	g4.Cell = "W4"
+	f3 := c.MustAdd("F3", netlist.KindDFF, g4.ID)
+	c.MustAdd("out", netlist.KindOutput, f3.ID)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// loopCircuit builds a register feedback loop whose flip-flop sits on the
+// critical path, so VirtualSync must re-insert a sequential delay unit
+// into the exposed combinational loop:
+//
+//	in -> F1 -> g1(XOR, 9) -> F2 -> g2(4) -> F3 -> out
+//	            ^-------------|  (F2 feeds back into g1)
+func loopCircuit(t testing.TB) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New("loopy")
+	in := c.MustAdd("in", netlist.KindInput)
+	f1 := c.MustAdd("F1", netlist.KindDFF, in.ID)
+	g1 := c.MustAdd("g1", netlist.KindXor, f1.ID, f1.ID)
+	g1.Cell = "W9"
+	f2 := c.MustAdd("F2", netlist.KindDFF, g1.ID)
+	g1.Fanins[1] = f2.ID
+	g2 := c.MustAdd("g2", netlist.KindBuf, f2.ID)
+	g2.Cell = "W4"
+	f3 := c.MustAdd("F3", netlist.KindDFF, g2.ID)
+	c.MustAdd("out", netlist.KindOutput, f3.ID)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

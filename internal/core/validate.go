@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Violation is one failed check from the wave-timing validator.
+type Violation struct {
+	Check  string  // which rule failed
+	Edge   int     // region edge index, or -1
+	Gate   int     // region gate index, or -1
+	Amount float64 // how far out of bounds
+	Msg    string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s (edge %d, gate %d, by %.3f): %s", v.Check, v.Edge, v.Gate, v.Amount, v.Msg)
+}
+
+const valTol = 1e-6
+
+// waveState holds propagated late/early arrivals for validation.
+type waveState struct {
+	late, early   []float64 // per gate output
+	wLate, wEarly []float64 // per edge, before any unit
+	oLate, oEarly []float64 // per edge, after unit (as seen by consumer)
+}
+
+// Validate checks a realized plan against the VirtualSync timing rules
+// using fixed delays (p.GateDelay, p.ChainDelay) and the model's ru/rl
+// guard bands: boundary setup/hold (paper eq. 1-2), delay-unit windows
+// (eq. 7-8, 14), wave non-interference (eq. 17) and signal ordering. It
+// is independent of the LP solver and is the final gate on every
+// optimizer output.
+func (p *Plan) Validate() []Violation {
+	st, vs := p.propagate()
+	if st == nil {
+		return vs
+	}
+	return append(vs, p.check(st)...)
+}
+
+// propagate computes arrival times to fixpoint. Sequential delay units
+// with flip-flop behaviour emit constants, which breaks every legal cycle;
+// a cycle without one fails to converge and is reported.
+func (p *Plan) propagate() (*waveState, []Violation) {
+	r := p.R
+	nG, nE := len(r.Gates), len(r.Edges)
+	opts := p.Opts
+	T := p.T
+
+	st := &waveState{
+		late:   make([]float64, nG),
+		early:  make([]float64, nG),
+		wLate:  make([]float64, nE),
+		wEarly: make([]float64, nE),
+		oLate:  make([]float64, nE),
+		oEarly: make([]float64, nE),
+	}
+	for gi := 0; gi < nG; gi++ {
+		st.late[gi] = math.Inf(-1)
+		st.early[gi] = math.Inf(1)
+	}
+
+	fromTimes := func(e Edge) (float64, float64) {
+		switch e.From.Kind {
+		case RefGate:
+			return st.late[e.From.Idx], st.early[e.From.Idx]
+		default:
+			return r.sourceTimes(e.From.Idx, opts)
+		}
+	}
+
+	maxIter := nG + nE + 8
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for ei, e := range r.Edges {
+			upL, upE := fromTimes(e)
+			shift := -float64(e.Lambda) * T
+			wL := upL + shift + p.ChainDelay[ei]*opts.Ru
+			wE := upE + shift + p.ChainDelay[ei]*opts.Rl
+			var oL, oE float64
+			u := p.Unit[ei]
+			phi := u.PhaseFrac * T
+			n := float64(u.N)
+			switch u.Kind {
+			case UnitNone, UnitBuffer:
+				oL, oE = wL, wE
+			case UnitFF:
+				oL = (n+1)*T + phi + r.Lib.FF.Tcq*opts.Ru
+				oE = (n+1)*T + phi + r.Lib.FF.Tcq*opts.Rl
+			case UnitLatch:
+				open := n*T + phi + opts.Duty*T
+				oL = math.Max(open+r.Lib.Latch.Tcq*opts.Ru, wL+r.Lib.Latch.Tdq*opts.Ru)
+				oE = open + r.Lib.Latch.Tcq*opts.Rl
+			}
+			if wL != st.wLate[ei] || wE != st.wEarly[ei] || oL != st.oLate[ei] || oE != st.oEarly[ei] {
+				// -inf/+inf churn does not count as progress.
+				if !sameOrBothInf(wL, st.wLate[ei]) || !sameOrBothInf(wE, st.wEarly[ei]) ||
+					!sameOrBothInf(oL, st.oLate[ei]) || !sameOrBothInf(oE, st.oEarly[ei]) {
+					changed = true
+				}
+			}
+			st.wLate[ei], st.wEarly[ei] = wL, wE
+			st.oLate[ei], st.oEarly[ei] = oL, oE
+		}
+		for gi, gid := range r.Gates {
+			_ = gid
+			lateIn := math.Inf(-1)
+			earlyIn := math.Inf(1)
+			found := false
+			for ei, e := range r.Edges {
+				if e.To.Kind != RefGate || e.To.Idx != gi {
+					continue
+				}
+				found = true
+				if st.oLate[ei] > lateIn {
+					lateIn = st.oLate[ei]
+				}
+				if st.oEarly[ei] < earlyIn {
+					earlyIn = st.oEarly[ei]
+				}
+			}
+			if !found {
+				continue
+			}
+			nl := lateIn + p.GateDelay[gi]*opts.Ru
+			ne := earlyIn + p.GateDelay[gi]*opts.Rl
+			if !sameOrBothInf(nl, st.late[gi]) || !sameOrBothInf(ne, st.early[gi]) {
+				changed = true
+			}
+			st.late[gi], st.early[gi] = nl, ne
+		}
+		if !changed {
+			return st, nil
+		}
+	}
+	return nil, []Violation{{
+		Check: "convergence", Edge: -1, Gate: -1,
+		Msg: "arrival times did not converge: a feedback structure lacks a flip-flop delay unit",
+	}}
+}
+
+func sameOrBothInf(a, b float64) bool {
+	if math.IsInf(a, -1) && math.IsInf(b, -1) {
+		return true
+	}
+	if math.IsInf(a, 1) && math.IsInf(b, 1) {
+		return true
+	}
+	return math.Abs(a-b) < 1e-12
+}
+
+// check audits every constraint against the propagated arrivals.
+func (p *Plan) check(st *waveState) []Violation {
+	r := p.R
+	opts := p.Opts
+	T := p.T
+	tstable := opts.TStableFrac * T
+	var vs []Violation
+	add := func(check string, edge, gate int, amount float64, format string, args ...interface{}) {
+		vs = append(vs, Violation{check, edge, gate, amount, fmt.Sprintf(format, args...)})
+	}
+
+	for gi := range r.Gates {
+		l, e := st.late[gi], st.early[gi]
+		if math.IsInf(l, -1) || math.IsInf(e, 1) {
+			add("reachability", -1, gi, 0, "gate %q has undetermined arrival", r.Work.Node(r.Gates[gi]).Name)
+			continue
+		}
+		if e > l+valTol {
+			add("ordering", -1, gi, e-l, "early arrival after late arrival")
+		}
+		if l-e > T-tstable+valTol {
+			add("non-interference", -1, gi, l-e-(T-tstable), "wave spread exceeds T - tstable")
+		}
+	}
+
+	for ei, e := range r.Edges {
+		wL, wE := st.wLate[ei], st.wEarly[ei]
+		if math.IsInf(wL, -1) || math.IsInf(wE, 1) {
+			add("reachability", ei, -1, 0, "edge has undetermined arrival")
+			continue
+		}
+		u := p.Unit[ei]
+		phi := u.PhaseFrac * T
+		n := float64(u.N)
+		switch u.Kind {
+		case UnitFF:
+			lo := n*T + phi + r.Lib.FF.Th*opts.Ru
+			hi := (n+1)*T + phi - r.Lib.FF.Tsu*opts.Ru
+			if wE < lo-valTol {
+				add("ff-window-lo", ei, -1, lo-wE, "early arrival %g before window start %g", wE, lo)
+			}
+			if wL > hi+valTol {
+				add("ff-window-hi", ei, -1, wL-hi, "late arrival %g after window end %g", wL, hi)
+			}
+		case UnitLatch:
+			lo := n*T + phi + r.Lib.Latch.Th*opts.Ru
+			hi := (n+1)*T + phi - r.Lib.Latch.Tsu*opts.Ru
+			open := n*T + phi + opts.Duty*T
+			if wE < lo-valTol {
+				add("latch-window-lo", ei, -1, lo-wE, "early arrival %g before window start %g", wE, lo)
+			}
+			if wL > hi+valTol {
+				add("latch-window-hi", ei, -1, wL-hi, "late arrival %g after window end %g", wL, hi)
+			}
+			if wE > open+valTol {
+				add("latch-transparent-early", ei, -1, wE-open,
+					"fast signal arrives at %g after the latch opens at %g", wE, open)
+			}
+		}
+		if wL-wE > T-tstable+valTol {
+			add("non-interference", ei, -1, wL-wE-(T-tstable), "wave spread at unit input")
+		}
+
+		if e.To.Kind == RefSink {
+			tsu, th := r.sinkTimings(e.To.Idx)
+			oL, oE := st.oLate[ei], st.oEarly[ei]
+			if oL+tsu*opts.Ru > T+valTol {
+				add("boundary-setup", ei, -1, oL+tsu*opts.Ru-T,
+					"sink %q arrival %g + tsu > T=%g", r.Work.Node(r.Sinks[e.To.Idx].Node).Name, oL, T)
+			}
+			if oE < th*opts.Ru-valTol {
+				add("boundary-hold", ei, -1, th*opts.Ru-oE,
+					"sink %q early arrival %g < th", r.Work.Node(r.Sinks[e.To.Idx].Node).Name, oE)
+			}
+		}
+	}
+	return vs
+}
+
+// SinkArrivals exposes the validator's propagated boundary arrivals for
+// experiment reporting: converted late/early arrival per sink name. ok is
+// false when propagation fails.
+func SinkArrivals(p *Plan) (ok bool, late, early map[string]float64) {
+	st, vs := p.propagate()
+	if st == nil || len(vs) > 0 {
+		return false, nil, nil
+	}
+	late = map[string]float64{}
+	early = map[string]float64{}
+	for ei, e := range p.R.Edges {
+		if e.To.Kind != RefSink {
+			continue
+		}
+		name := p.R.Work.Node(p.R.Sinks[e.To.Idx].Node).Name
+		late[name] = st.oLate[ei]
+		early[name] = st.oEarly[ei]
+	}
+	return true, late, early
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// planFor builds a realized plan for the wavePipe circuit at period T.
+func planFor(t *testing.T, T float64) *Plan {
+	t.Helper()
+	c := wavePipe(t)
+	lib := paperLib(t)
+	r, err := Extract(c, lib, ExtractOptions{SelectFrac: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := optimizeRegion(r, T, DefaultOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil {
+		t.Fatalf("period %g infeasible", T)
+	}
+	if err := p.realize(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestValidateAcceptsRealizedPlan(t *testing.T) {
+	p := planFor(t, 10)
+	if vs := p.Validate(); len(vs) != 0 {
+		t.Fatalf("valid plan rejected: %v", vs)
+	}
+}
+
+func TestValidateCatchesChainTampering(t *testing.T) {
+	p := planFor(t, 10)
+	// Blow up one padded chain: late-side constraints must break.
+	tampered := false
+	for ei := range p.ChainDelay {
+		if p.ChainDelay[ei] > 0 {
+			p.ChainDelay[ei] += 100
+			tampered = true
+			break
+		}
+	}
+	if !tampered {
+		t.Skip("plan has no buffer chains to tamper with")
+	}
+	if vs := p.Validate(); len(vs) == 0 {
+		t.Fatal("validator accepted a +100 chain")
+	}
+}
+
+func TestValidateCatchesGateTampering(t *testing.T) {
+	p := planFor(t, 10)
+	p.GateDelay[0] += 200
+	if vs := p.Validate(); len(vs) == 0 {
+		t.Fatal("validator accepted a +200 gate delay")
+	}
+}
+
+func TestValidateCatchesWrongWindow(t *testing.T) {
+	c := loopCircuit(t)
+	lib := paperLib(t)
+	r, err := Extract(c, lib, ExtractOptions{SelectFrac: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := r.Baseline.MinPeriod * 1.1
+	p, err := optimizeRegion(r, T, DefaultOptions(), nil)
+	if err != nil || p == nil {
+		t.Fatalf("optimize: %v %v", p, err)
+	}
+	if err := p.realize(); err != nil {
+		t.Fatal(err)
+	}
+	// Shift a sequential unit one window off: windows must fail.
+	shifted := false
+	for ei := range p.Unit {
+		if p.Unit[ei].Kind == UnitFF || p.Unit[ei].Kind == UnitLatch {
+			p.Unit[ei].N++
+			shifted = true
+			break
+		}
+	}
+	if !shifted {
+		t.Fatal("loop plan has no sequential units")
+	}
+	vs := p.Validate()
+	if len(vs) == 0 {
+		t.Fatal("validator accepted an off-by-one window index")
+	}
+	found := false
+	for _, v := range vs {
+		if strings.Contains(v.Check, "window") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a window violation, got %v", vs)
+	}
+}
+
+func TestValidateDetectsUncutLoop(t *testing.T) {
+	c := loopCircuit(t)
+	lib := paperLib(t)
+	r, err := Extract(c, lib, ExtractOptions{SelectFrac: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := r.Baseline.MinPeriod * 1.1
+	p, err := optimizeRegion(r, T, DefaultOptions(), nil)
+	if err != nil || p == nil {
+		t.Fatalf("optimize: %v %v", p, err)
+	}
+	if err := p.realize(); err != nil {
+		t.Fatal(err)
+	}
+	// Remove every sequential unit: the loop is no longer cut and
+	// propagation must fail to converge.
+	for ei := range p.Unit {
+		p.Unit[ei] = Placement{Kind: UnitNone}
+	}
+	vs := p.Validate()
+	if len(vs) == 0 {
+		t.Fatal("validator accepted an uncut combinational loop")
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Check: "x", Edge: 1, Gate: -1, Amount: 2.5, Msg: "m"}
+	s := v.String()
+	if !strings.Contains(s, "x") || !strings.Contains(s, "2.5") {
+		t.Fatalf("Violation.String = %q", s)
+	}
+}
+
+func TestBuildChainVariants(t *testing.T) {
+	p := planFor(t, 10)
+	// paperLib buffer has a single option of delay 4.
+	chain, d := p.buildChain(9)
+	if len(chain) != 3 || d != 12 {
+		t.Fatalf("buildChain(9) = %v, %g; want 3 buffers of 4", chain, d)
+	}
+	chain, d = p.buildChain(0)
+	if chain != nil || d != 0 {
+		t.Fatalf("buildChain(0) = %v, %g", chain, d)
+	}
+	chain, d = p.buildChainNearest(9)
+	if d != 8 || len(chain) != 2 {
+		t.Fatalf("buildChainNearest(9) = %v, %g; want 2 buffers = 8", chain, d)
+	}
+	if chain, d := p.buildChainNearest(1.5); chain != nil || d != 0 {
+		t.Fatalf("buildChainNearest(1.5) = %v, %g; want empty", chain, d)
+	}
+}
+
+func TestRealizeDiscretizesGates(t *testing.T) {
+	p := planFor(t, 10)
+	for gi := range p.GateDelay {
+		if p.GateDelay[gi] > p.GateDelayReq[gi]+1e-9 {
+			t.Fatalf("gate %d realized slower than assigned: %g > %g",
+				gi, p.GateDelay[gi], p.GateDelayReq[gi])
+		}
+	}
+}

@@ -1,0 +1,336 @@
+// Package expt reproduces every table and figure of the VirtualSync
+// paper's evaluation (Section 6): Table 1 (per-circuit optimization
+// results), Fig. 6 (sequential delay units before/after buffer
+// replacement), Fig. 7 (area ratio of the replacement), Fig. 8 (area at
+// equal clock period vs retiming&sizing), plus the motivating Fig. 1
+// walk-through and the Fig. 2 delay-unit transfer characteristics.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"virtualsync/internal/netlist"
+
+	"virtualsync/internal/celllib"
+	"virtualsync/internal/core"
+	"virtualsync/internal/gen"
+	"virtualsync/internal/retime"
+	"virtualsync/internal/sim"
+	"virtualsync/internal/sizing"
+	"virtualsync/internal/sta"
+)
+
+// Config bundles the experiment parameters.
+type Config struct {
+	Lib      *celllib.Library
+	Opts     core.Options
+	StepFrac float64 // period-search step (paper: 0.005)
+
+	// VerifyCycles > 0 enables functional-equivalence simulation of every
+	// optimized circuit over that many cycles.
+	VerifyCycles int
+	VerifySeed   int64
+
+	// Progress, when non-nil, receives one line per finished circuit.
+	Progress io.Writer
+}
+
+// DefaultConfig returns the paper's settings with equivalence checking on.
+func DefaultConfig() Config {
+	return Config{
+		Lib:          celllib.Default(),
+		Opts:         core.DefaultOptions(),
+		StepFrac:     0.005,
+		VerifyCycles: 48,
+		VerifySeed:   1,
+	}
+}
+
+// CircuitResult is one Table 1 row plus the figure data derived from the
+// same run.
+type CircuitResult struct {
+	Name string
+
+	// Circuit statistics (Table 1: ns, ng).
+	NS, NG int
+	// Critical-part statistics (Table 1: ncs, ncg).
+	NCS, NCG int
+	// Inserted hardware (Table 1: nf, nl, nb).
+	NF, NL, NB int
+	// NT is the clock-period reduction vs retiming&sizing in percent.
+	NT float64
+	// NA is the area change vs retiming&sizing in percent.
+	NA float64
+	// Runtime of the VirtualSync flow.
+	Runtime time.Duration
+
+	BaselinePeriod float64 // margined retiming&sizing period
+	Period         float64 // achieved VirtualSync period
+	BaselineArea   float64
+	Area           float64
+
+	// Fig. 6: sequential delay units before/after buffer replacement.
+	UnitsBeforeReplace int
+	UnitsAfterReplace  int
+	// Fig. 7: inserted area after replacement as % of before.
+	AreaRatioPct float64
+	// Fig. 8: inserted/total area when targeting the retiming&sizing
+	// period itself (no period reduction).
+	AreaSamePeriod         float64
+	BaselineAreaSamePeriod float64
+
+	// EquivChecked/EquivOK report the simulation-based functional check.
+	EquivChecked bool
+	EquivOK      bool
+	Mismatches   int
+}
+
+// RunCircuit executes the full per-circuit pipeline: generate, size,
+// retime, size again (the retiming&sizing baseline), run VirtualSync's
+// period search, verify functional equivalence, and collect the row.
+func RunCircuit(spec gen.Spec, cfg Config) (*CircuitResult, error) {
+	c, err := gen.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	st := c.Stats()
+	row := &CircuitResult{Name: spec.Name, NS: st.DFFs, NG: st.Gates}
+
+	// Baseline: sizing + retiming + sizing (paper: "after thorough sizing
+	// and retiming").
+	if _, err := sizing.Size(c, cfg.Lib); err != nil {
+		return nil, fmt.Errorf("%s: sizing: %v", spec.Name, err)
+	}
+	base, _, err := retime.Retime(c, cfg.Lib)
+	if err != nil {
+		return nil, fmt.Errorf("%s: retiming: %v", spec.Name, err)
+	}
+	if _, err := sizing.Size(base, cfg.Lib); err != nil {
+		return nil, fmt.Errorf("%s: post-retiming sizing: %v", spec.Name, err)
+	}
+
+	res, err := core.Optimize(base, cfg.Lib, cfg.Opts, cfg.StepFrac)
+	if err != nil {
+		return nil, fmt.Errorf("%s: virtualsync: %v", spec.Name, err)
+	}
+	rst := res.Plan.R.Stats()
+	row.NCS, row.NCG = rst.SelectedFFs, rst.RegionGates
+	row.NF, row.NL, row.NB = res.NumFFUnits, res.NumLatchUnits, res.NumBuffers
+	row.NT = res.PeriodReductionPct()
+	row.NA = res.AreaDeltaPct()
+	row.Runtime = res.Runtime
+	row.BaselinePeriod, row.Period = res.BaselinePeriod, res.Period
+	row.BaselineArea, row.Area = res.BaselineArea, res.Area
+	row.UnitsBeforeReplace = res.PreReplaceFFUnits + res.PreReplaceLatchUnits
+	row.UnitsAfterReplace = res.NumFFUnits + res.NumLatchUnits
+	if res.PreReplaceArea > 0 {
+		row.AreaRatioPct = 100 * res.InsertedArea / res.PreReplaceArea
+	} else {
+		row.AreaRatioPct = 100
+	}
+
+	// Fig. 8: VirtualSync at the baseline's own period.
+	same, err := core.OptimizeAtPeriod(base, cfg.Lib, res.BaselinePeriod, cfg.Opts)
+	if err == nil && same != nil {
+		row.AreaSamePeriod = same.Area
+		row.BaselineAreaSamePeriod = same.BaselineArea
+	}
+
+	if cfg.VerifyCycles > 0 {
+		warmup := 4
+		for _, e := range res.Plan.R.Edges {
+			if e.Lambda+3 > warmup {
+				warmup = e.Lambda + 3
+			}
+		}
+		ms, err := sim.VerifyEquivalence(base, res.Circuit, cfg.Lib,
+			res.BaselinePeriod, res.Period, cfg.VerifyCycles, warmup, cfg.VerifySeed)
+		if err != nil {
+			return nil, fmt.Errorf("%s: equivalence sim: %v", spec.Name, err)
+		}
+		row.EquivChecked = true
+		row.EquivOK = len(ms) == 0
+		row.Mismatches = len(ms)
+	}
+	if cfg.Progress != nil {
+		fmt.Fprintf(cfg.Progress, "%-12s T %7.1f -> %7.1f  nt %5.1f%%  na %+6.2f%%  nf %3d nl %3d nb %3d  equiv=%v  (%v)\n",
+			row.Name, row.BaselinePeriod, row.Period, row.NT, row.NA,
+			row.NF, row.NL, row.NB, !row.EquivChecked || row.EquivOK, row.Runtime.Round(time.Millisecond))
+	}
+	return row, nil
+}
+
+// RunSuite runs RunCircuit over the named benchmarks (all of the paper's
+// suite when names is empty).
+func RunSuite(names []string, cfg Config) ([]*CircuitResult, error) {
+	specs := gen.PaperSuite()
+	if len(names) > 0 {
+		var sel []gen.Spec
+		for _, n := range names {
+			s, ok := gen.SpecByName(n)
+			if !ok {
+				return nil, fmt.Errorf("expt: unknown benchmark %q", n)
+			}
+			sel = append(sel, s)
+		}
+		specs = sel
+	}
+	out := make([]*CircuitResult, 0, len(specs))
+	for _, s := range specs {
+		row, err := RunCircuit(s, cfg)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Fig1Result holds the motivating-example period ladder (paper Fig. 1:
+// 21 / 16 / 11 / 8.5 for original / sized / retimed / VirtualSync).
+type Fig1Result struct {
+	Original    float64
+	Sized       float64
+	Retimed     float64
+	VirtualSync float64
+	// MarginedRetimed is the guard-banded retiming&sizing period that
+	// VirtualSync's reduction is measured against.
+	MarginedRetimed float64
+}
+
+// RunFig1 reproduces the paper's Fig. 1 ladder on the Fig. 1 circuit.
+func RunFig1(opts core.Options) (*Fig1Result, error) {
+	lib := gen.Fig1Library()
+	c := gen.Fig1()
+	out := &Fig1Result{}
+	var err error
+	if out.Original, err = sta.MinPeriod(c, lib); err != nil {
+		return nil, err
+	}
+	sized := c.Clone()
+	if _, err := sizing.Size(sized, lib); err != nil {
+		return nil, err
+	}
+	if out.Sized, err = sta.MinPeriod(sized, lib); err != nil {
+		return nil, err
+	}
+	retimed, _, err := retime.Retime(sized, lib)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sizing.Size(retimed, lib); err != nil {
+		return nil, err
+	}
+	if out.Retimed, err = sta.MinPeriod(retimed, lib); err != nil {
+		return nil, err
+	}
+	res, err := core.Optimize(retimed, lib, opts, 0.005)
+	if err != nil {
+		return nil, err
+	}
+	out.VirtualSync = res.Period
+	out.MarginedRetimed = res.BaselinePeriod
+	return out, nil
+}
+
+// Fig3Result is the relative-timing-reference worked example of paper
+// Fig. 3: a register pipeline whose first two flip-flops are removed, with
+// the anchor-converted arrival times at the remaining boundary.
+type Fig3Result struct {
+	BaselinePeriod float64
+	TargetPeriod   float64
+	Lambdas        map[string]int // anchors crossed per consumer
+	SinkLate       map[string]float64
+	SinkEarly      map[string]float64
+	EquivOK        bool
+}
+
+// RunFig3 builds the Fig. 3 pipeline, optimizes it at the paper's T=10 and
+// reports the anchor-converted sink arrivals.
+func RunFig3(opts core.Options) (*Fig3Result, error) {
+	lib := gen.Fig1Library() // same W-cell style, tcq=3 tsu=th=1
+	c, err := fig3Circuit()
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.OptimizeAtPeriod(c, lib, 10, opts)
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("expt: Fig. 3 target period 10 infeasible")
+	}
+	out := &Fig3Result{
+		BaselinePeriod: res.BaselinePeriod,
+		TargetPeriod:   10,
+		Lambdas:        map[string]int{},
+		SinkLate:       map[string]float64{},
+		SinkEarly:      map[string]float64{},
+	}
+	st, lates, earlies := core.SinkArrivals(res.Plan)
+	if st {
+		out.SinkLate, out.SinkEarly = lates, earlies
+	}
+	r := res.Plan.R
+	for _, e := range r.Edges {
+		out.Lambdas[r.Work.Node(e.DstNode).Name] += e.Lambda
+	}
+	ms, err := sim.VerifyEquivalence(c, res.Circuit, lib, res.BaselinePeriod, 10, 50, 6, 3)
+	if err != nil {
+		return nil, err
+	}
+	out.EquivOK = len(ms) == 0
+	return out, nil
+}
+
+func fig3Circuit() (*netlist.Circuit, error) {
+	const src = `
+INPUT(in)
+OUTPUT(z)
+F1 = DFF(in)
+u1 = BUF(F1) [W5]
+u2 = BUF(u1) [W6]
+F2 = DFF(u2)
+w  = BUF(F2) [W3]
+F3 = DFF(w)
+t  = BUF(F3) [W2]
+F4 = DFF(t)
+z  = BUF(F4) [W1]
+`
+	return netlist.ParseString(src, "fig3")
+}
+
+// Fig2Point is one sample of a delay unit's transfer characteristic.
+type Fig2Point struct {
+	In        float64
+	BufferOut float64
+	FFOut     float64 // NaN outside the legal window
+	LatchOut  float64 // NaN outside the legal window
+}
+
+// RunFig2 samples the three transfer characteristics of paper Fig. 2 over
+// one clock period.
+func RunFig2(u core.UnitTiming, samples int) []Fig2Point {
+	out := make([]Fig2Point, 0, samples)
+	for i := 0; i < samples; i++ {
+		in := u.Phi + u.T*float64(i)/float64(samples-1)
+		p := Fig2Point{In: in, BufferOut: u.BufferOut(in)}
+		if v, _, ok := u.FFOut(in); ok {
+			p.FFOut = v
+		} else {
+			p.FFOut = nan()
+		}
+		if v, _, ok := u.LatchOut(in); ok {
+			p.LatchOut = v
+		} else {
+			p.LatchOut = nan()
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func nan() float64 { return math.NaN() }

@@ -1,0 +1,28 @@
+package expt
+
+import (
+	"testing"
+
+	"virtualsync/internal/gen"
+)
+
+// TestPCIBridgeRow guards the suite's heaviest circuit: the full flow must
+// terminate and verify.
+func TestPCIBridgeRow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite row skipped in -short mode")
+	}
+	spec, _ := gen.SpecByName("pci_bridge")
+	cfg := DefaultConfig()
+	cfg.VerifyCycles = 24
+	row, err := RunCircuit(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.EquivChecked && !row.EquivOK {
+		t.Fatalf("equivalence failed: %d mismatches", row.Mismatches)
+	}
+	if row.NT < 0 || row.Period > row.BaselinePeriod {
+		t.Fatalf("bad row: %+v", row)
+	}
+}

@@ -1,0 +1,66 @@
+package gen
+
+import (
+	"virtualsync/internal/celllib"
+	"virtualsync/internal/netlist"
+)
+
+// Fig1 builds the paper's Fig. 1 motivating example circuit:
+//
+//	a -> F1 ─ g5(3) ──────────────────────┐
+//	b -> F2 ─ g1(5) ─ g2(6) ─ gx(XOR,6) ─ F3 ─ g4(4) ─ F4 -> out
+//	                   gx feedback <────── F3
+//
+// Gate delays are the paper's (shown on the gates); sizing options allow
+// the critical-path gates to be accelerated as in Fig. 1(b). With the
+// Fig1Library flip-flop timing (tcq=3, tsu=1, th=1) the original minimum
+// clock period is 21, as in the paper.
+func Fig1() *netlist.Circuit {
+	c := netlist.New("fig1")
+	a := c.MustAdd("a", netlist.KindInput)
+	b := c.MustAdd("b", netlist.KindInput)
+	f1 := c.MustAdd("F1", netlist.KindDFF, a.ID)
+	f2 := c.MustAdd("F2", netlist.KindDFF, b.ID)
+	g1 := c.MustAdd("g1", netlist.KindBuf, f2.ID)
+	g1.Cell = "S5"
+	g2 := c.MustAdd("g2", netlist.KindBuf, g1.ID)
+	g2.Cell = "S6"
+	gx := c.MustAdd("gx", netlist.KindXor, g2.ID, g2.ID)
+	gx.Cell = "S6"
+	f3 := c.MustAdd("F3", netlist.KindDFF, gx.ID)
+	gx.Fanins[1] = f3.ID
+	g5 := c.MustAdd("g5", netlist.KindBuf, f1.ID)
+	g5.Cell = "S3"
+	g4 := c.MustAdd("g4", netlist.KindAnd, f3.ID, g5.ID)
+	g4.Cell = "S4"
+	f4 := c.MustAdd("F4", netlist.KindDFF, g4.ID)
+	c.MustAdd("out", netlist.KindOutput, f4.ID)
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Fig1Library returns the library for the Fig. 1 example: fixed-delay
+// cells with sizing options on the critical-path gates, and the paper's
+// flip-flop timing tcq=3, tsu=1, th=1.
+func Fig1Library() *celllib.Library {
+	l := celllib.Uniform(4,
+		celllib.SeqTiming{Tcq: 3, Tsu: 1, Th: 1, Area: 4},
+		celllib.SeqTiming{Tcq: 2, Tdq: 1, Tsu: 1, Th: 1, Area: 3})
+	mustAdd := func(name string, opts ...celllib.Option) {
+		if _, err := l.AddCell(name, netlist.KindBuf, opts); err != nil {
+			panic(err)
+		}
+	}
+	mustAdd("S3", celllib.Option{Delay: 3, Area: 1})
+	mustAdd("S4", celllib.Option{Delay: 4, Area: 1})
+	mustAdd("S5", celllib.Option{Delay: 5, Area: 1}, celllib.Option{Delay: 3, Area: 2})
+	mustAdd("S6", celllib.Option{Delay: 6, Area: 1}, celllib.Option{Delay: 4, Area: 2})
+	// Fixed-delay helper cells W1..W9 (delay = digit), used by the Fig. 3
+	// worked example and by tests that assign explicit gate delays.
+	for d := 1; d <= 9; d++ {
+		mustAdd("W"+string(rune('0'+d)), celllib.Option{Delay: float64(d), Area: 1})
+	}
+	return l
+}

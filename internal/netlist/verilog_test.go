@@ -1,0 +1,67 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteVerilog(t *testing.T) {
+	c, err := ParseString(sample, "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"module tiny(clk, a, b, z);",
+		"input a;",
+		"output z;",
+		"nand g",
+		"vs_dff",
+		"vs_latch",
+		"assign z = ",
+		"endmodule",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("verilog missing %q:\n%s", want, out)
+		}
+	}
+	// The latch phase annotation must be present.
+	if !strings.Contains(out, "phase 0.500*T") {
+		t.Fatalf("latch phase comment missing:\n%s", out)
+	}
+}
+
+func TestSanitizeVerilog(t *testing.T) {
+	cases := map[string]string{
+		"abc":     "abc",
+		"a$po":    "a_po",
+		"9lives":  "n9lives",
+		"x-y.z":   "x_y_z",
+		"under_s": "under_s",
+	}
+	for in, want := range cases {
+		if got := sanitizeVerilog(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteVerilogConsts(t *testing.T) {
+	c := New("k")
+	one := c.MustAdd("one", KindConst1)
+	zero := c.MustAdd("zero", KindConst0)
+	g := c.MustAdd("g", KindOr, one.ID, zero.ID)
+	c.MustAdd("z", KindOutput, g.ID)
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "assign one = 1'b1;") ||
+		!strings.Contains(sb.String(), "assign zero = 1'b0;") {
+		t.Fatalf("constants missing:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,305 @@
+package retime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"virtualsync/internal/celllib"
+	"virtualsync/internal/netlist"
+	"virtualsync/internal/sta"
+)
+
+// lib33 is a uniform library: every gate delay 3, tcq=3, tsu=1, th=1.
+func lib33() *celllib.Library {
+	return celllib.Uniform(3,
+		celllib.SeqTiming{Tcq: 3, Tsu: 1, Th: 1, Area: 4},
+		celllib.SeqTiming{Tcq: 2, Tdq: 1, Tsu: 1, Th: 1, Area: 3})
+}
+
+// unbalanced builds a classic retiming testcase: a register ring where all
+// the combinational delay sits in one stage.
+//
+//	fA -> g1 -> g2 -> g3 -> fB -> g4 -> fA   (ring through 2 FFs)
+//	       plus PI/PO taps so the host is connected
+//
+// Original worst stage: g1+g2+g3 = 9, so T = 9+4 = 13. Retiming can move
+// fB to balance: best split of 12 total delay across 2 registers on the
+// ring is 6+6, so T = 6+4 = 10.
+func unbalanced(t testing.TB) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New("ring")
+	in := c.MustAdd("in", netlist.KindInput)
+	fa := c.MustAdd("fa", netlist.KindDFF, in.ID) // placeholder fanin, rewired below
+	g1 := c.MustAdd("g1", netlist.KindAnd, fa.ID, in.ID)
+	g2 := c.MustAdd("g2", netlist.KindNot, g1.ID)
+	g3 := c.MustAdd("g3", netlist.KindNot, g2.ID)
+	fb := c.MustAdd("fb", netlist.KindDFF, g3.ID)
+	g4 := c.MustAdd("g4", netlist.KindNot, fb.ID)
+	fa.Fanins[0] = g4.ID
+	c.MustAdd("out", netlist.KindOutput, fb.ID)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBuildGraph(t *testing.T) {
+	c := unbalanced(t)
+	g, err := BuildGraph(c, lib33())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 5 { // host + g1..g4
+		t.Fatalf("NumVertices = %d, want 5", g.NumVertices())
+	}
+	// Edges: g4->g1 (w=1, through fa), in->g1 (w=0), g1->g2, g2->g3 (0),
+	// g3->g4 (w=1 through fb), g3->host (w=1, output tap).
+	if g.NumEdges() != 6 {
+		t.Fatalf("NumEdges = %d, want 6", g.NumEdges())
+	}
+	wSum := 0
+	for _, e := range g.edges {
+		wSum += e.w
+	}
+	if wSum != 3 {
+		t.Fatalf("total edge weight = %d, want 3", wSum)
+	}
+}
+
+func TestBuildGraphRejectsLatch(t *testing.T) {
+	c := netlist.New("l")
+	a := c.MustAdd("a", netlist.KindInput)
+	c.MustAdd("lt", netlist.KindLatch, a.ID)
+	if _, err := BuildGraph(c, lib33()); err == nil {
+		t.Fatal("latch circuit accepted")
+	}
+}
+
+func TestBuildGraphRejectsFFOnlyCycle(t *testing.T) {
+	c := netlist.New("ffloop")
+	a := c.MustAdd("a", netlist.KindInput)
+	f1 := c.MustAdd("f1", netlist.KindDFF, a.ID)
+	f2 := c.MustAdd("f2", netlist.KindDFF, f1.ID)
+	f1.Fanins[0] = f2.ID
+	c.MustAdd("g", netlist.KindNot, f1.ID)
+	if _, err := BuildGraph(c, lib33()); err == nil {
+		t.Fatal("FF-only cycle accepted")
+	}
+}
+
+func TestFeasibleBudget(t *testing.T) {
+	c := unbalanced(t)
+	g, err := BuildGraph(c, lib33())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget 9 is feasible without moving anything.
+	if _, ok := g.Feasible(9); !ok {
+		t.Fatal("budget 9 should be feasible")
+	}
+	// Budget 6 requires retiming (ring: 12 delay over 2 registers).
+	r, ok := g.Feasible(6)
+	if !ok {
+		t.Fatal("budget 6 should be feasible by retiming")
+	}
+	if r[host] != 0 {
+		t.Fatalf("host retiming = %d, want 0", r[host])
+	}
+	// Budget 5 is infeasible: 12/2 = 6 is the floor.
+	if _, ok := g.Feasible(5); ok {
+		t.Fatal("budget 5 should be infeasible")
+	}
+}
+
+func TestMinBudget(t *testing.T) {
+	c := unbalanced(t)
+	g, err := BuildGraph(c, lib33())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, r, err := g.MinBudget(9, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b-6) > 0.02 {
+		t.Fatalf("MinBudget = %g, want 6", b)
+	}
+	if r == nil {
+		t.Fatal("nil retiming")
+	}
+}
+
+func TestRetimeRing(t *testing.T) {
+	c := unbalanced(t)
+	lib := lib33()
+	before, err := sta.MinPeriod(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(before-13) > 1e-9 {
+		t.Fatalf("original period = %g, want 13", before)
+	}
+	out, period, err := Retime(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(period-10) > 0.05 {
+		t.Fatalf("retimed period = %g, want 10", period)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("retimed circuit invalid: %v", err)
+	}
+	// Register count on the ring is conserved (2 on the cycle).
+	g2, err := BuildGraph(out, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != 5 {
+		t.Fatalf("retimed graph vertices = %d", g2.NumVertices())
+	}
+}
+
+func TestRetimePreservesAcyclicPipeline(t *testing.T) {
+	// Unbalanced pipeline: 4 gates (delay 12) before three back-to-back
+	// registers. Retiming spreads the three registers across the chain,
+	// one gate per stage: period 3 + tcq + tsu = 7 instead of 16.
+	lib := lib33()
+	c := netlist.New("pipe")
+	in := c.MustAdd("in", netlist.KindInput)
+	f0 := c.MustAdd("f0", netlist.KindDFF, in.ID)
+	g1 := c.MustAdd("g1", netlist.KindNot, f0.ID)
+	g2 := c.MustAdd("g2", netlist.KindNot, g1.ID)
+	g3 := c.MustAdd("g3", netlist.KindNot, g2.ID)
+	g4 := c.MustAdd("g4", netlist.KindNot, g3.ID)
+	f1 := c.MustAdd("f1", netlist.KindDFF, g4.ID)
+	f2 := c.MustAdd("f2", netlist.KindDFF, f1.ID)
+	c.MustAdd("out", netlist.KindOutput, f2.ID)
+
+	before, _ := sta.MinPeriod(c, lib)
+	if math.Abs(before-16) > 1e-9 {
+		t.Fatalf("original period = %g, want 16", before)
+	}
+	out, period, err := Retime(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(period-7) > 0.05 {
+		t.Fatalf("retimed period = %g, want 7", period)
+	}
+	if got := len(out.FlipFlops()); got > 3 {
+		t.Errorf("retimed FF count = %d, want <= 3", got)
+	}
+}
+
+func TestRetimeNeverHurts(t *testing.T) {
+	// A circuit already at its retiming optimum: single gate between FFs.
+	lib := lib33()
+	c := netlist.New("opt")
+	in := c.MustAdd("in", netlist.KindInput)
+	f0 := c.MustAdd("f0", netlist.KindDFF, in.ID)
+	g := c.MustAdd("g", netlist.KindNot, f0.ID)
+	f1 := c.MustAdd("f1", netlist.KindDFF, g.ID)
+	c.MustAdd("out", netlist.KindOutput, f1.ID)
+	before, _ := sta.MinPeriod(c, lib)
+	_, period, err := Retime(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if period > before+1e-9 {
+		t.Fatalf("retiming hurt: %g -> %g", before, period)
+	}
+}
+
+func TestRetimeSharedFanoutChains(t *testing.T) {
+	// One driver fanning out to two consumers, both needing 2 FFs after
+	// retiming, must share one chain.
+	lib := lib33()
+	c := netlist.New("share")
+	in := c.MustAdd("in", netlist.KindInput)
+	g0 := c.MustAdd("g0", netlist.KindNot, in.ID)
+	f1 := c.MustAdd("f1", netlist.KindDFF, g0.ID)
+	f2 := c.MustAdd("f2", netlist.KindDFF, g0.ID) // parallel FF, same data
+	ga := c.MustAdd("ga", netlist.KindNot, f1.ID)
+	gb := c.MustAdd("gb", netlist.KindNot, f2.ID)
+	c.MustAdd("o1", netlist.KindOutput, ga.ID)
+	c.MustAdd("o2", netlist.KindOutput, gb.ID)
+	g, err := BuildGraph(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := make([]int, g.NumVertices()) // identity retiming
+	out, err := g.Apply(c, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(out.FlipFlops()); got != 1 {
+		t.Fatalf("rebuilt FF count = %d, want 1 (shared chain)", got)
+	}
+	if p, _ := sta.MinPeriod(out, lib); p <= 0 {
+		t.Fatal("rebuilt circuit has no period")
+	}
+}
+
+// Property: retiming preserves the number of registers on every cycle and
+// never increases the minimum period, on random register rings.
+func TestPropertyRetimeRandomRings(t *testing.T) {
+	lib := lib33()
+	f := func(stageGates []uint8) bool {
+		if len(stageGates) < 2 || len(stageGates) > 6 {
+			return true
+		}
+		c := netlist.New("ring")
+		in := c.MustAdd("in", netlist.KindInput)
+		first := c.MustAdd("s0", netlist.KindAnd, in.ID, in.ID)
+		prev := first.ID
+		total := 0
+		for si, raw := range stageGates {
+			n := int(raw)%4 + 1
+			for k := 0; k < n; k++ {
+				g := c.MustAdd(gname(si, k), netlist.KindNot, prev)
+				prev = g.ID
+				total++
+			}
+			ff := c.MustAdd(fname(si), netlist.KindDFF, prev)
+			prev = ff.ID
+		}
+		first.Fanins[1] = prev // close the ring
+		c.MustAdd("out", netlist.KindOutput, prev)
+		if err := c.Validate(); err != nil {
+			return false
+		}
+		before, err := sta.MinPeriod(c, lib)
+		if err != nil {
+			return false
+		}
+		out, period, err := Retime(c, lib)
+		if err != nil {
+			return false
+		}
+		if period > before+1e-6 {
+			return false
+		}
+		// Ring register count conserved: total registers on the cycle.
+		if len(out.FlipFlops()) < 1 {
+			return false
+		}
+		// Lower bound: total combinational delay / #registers + overhead.
+		nRegs := len(stageGates)
+		lower := 3*float64(total+1)/float64(nRegs) + 4
+		return period >= lower-3.01-1e-6 // one stage granularity slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func gname(a, b int) string { return "g" + itoa(a) + "_" + itoa(b) }
+func fname(a int) string    { return "f" + itoa(a) }
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return itoa(i/10) + string(rune('0'+i%10))
+}

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"virtualsync/internal/celllib"
+	"virtualsync/internal/netlist"
+)
+
+// rtlReference computes cycle-accurate flip-flop traces with zero-delay
+// semantics: at each clock edge all flip-flops capture the settled
+// combinational functions of the previous state, then inputs change and
+// logic settles instantly.
+func rtlReference(c *netlist.Circuit, stim [][]bool, cycles int) Trace {
+	vals := make([]bool, len(c.Nodes))
+	order, err := c.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	out := Trace{}
+	inputs := c.Inputs()
+	// Settle initial combinational values before the first capture, as
+	// the event simulator does.
+	for _, n := range order {
+		if n.Kind.IsCombinational() {
+			vals[n.ID] = evalGate(n, vals)
+		}
+	}
+	for cyc := 0; cyc < cycles; cyc++ {
+		type cap struct {
+			id netlist.NodeID
+			v  bool
+		}
+		var caps []cap
+		c.Live(func(n *netlist.Node) {
+			if n.Kind == netlist.KindDFF {
+				caps = append(caps, cap{n.ID, vals[n.Fanins[0]]})
+				out[n.Name] = append(out[n.Name], vals[n.Fanins[0]])
+			}
+		})
+		for _, cp := range caps {
+			vals[cp.id] = cp.v
+		}
+		for i, in := range inputs {
+			vals[in.ID] = stim[cyc][i]
+		}
+		for _, n := range order {
+			if n.Kind.IsCombinational() {
+				vals[n.ID] = evalGate(n, vals)
+			}
+		}
+		c.Live(func(n *netlist.Node) {
+			if n.Kind == netlist.KindOutput {
+				out[n.Name] = append(out[n.Name], vals[n.Fanins[0]])
+			}
+		})
+	}
+	return out
+}
+
+// randSyncCircuit builds a random synchronous circuit (no combinational
+// loops, FFs everywhere mid-path).
+func randSyncCircuit(seed int64) *netlist.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := netlist.New(fmt.Sprintf("rtl%d", seed))
+	var pool []netlist.NodeID
+	nIn := 2 + rng.Intn(3)
+	for i := 0; i < nIn; i++ {
+		pool = append(pool, c.MustAdd(fmt.Sprintf("in%d", i), netlist.KindInput).ID)
+	}
+	kinds := []netlist.Kind{netlist.KindBuf, netlist.KindNot, netlist.KindAnd,
+		netlist.KindNand, netlist.KindOr, netlist.KindNor, netlist.KindXor,
+		netlist.KindXnor, netlist.KindDFF}
+	n := 10 + rng.Intn(30)
+	for i := 0; i < n; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		f1 := pool[rng.Intn(len(pool))]
+		var nd *netlist.Node
+		if k.MaxFanins() == 1 {
+			nd = c.MustAdd(fmt.Sprintf("n%d", i), k, f1)
+		} else {
+			nd = c.MustAdd(fmt.Sprintf("n%d", i), k, f1, pool[rng.Intn(len(pool))])
+		}
+		nd.Drive = rng.Intn(3)
+		pool = append(pool, nd.ID)
+	}
+	c.MustAdd("z", netlist.KindOutput, pool[len(pool)-1])
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// TestEventSimMatchesRTLSemantics: at a clock period larger than the
+// worst path, the event-driven simulator must agree with zero-delay RTL
+// semantics cycle for cycle (after the first cycle, which differs only in
+// pre-reset settling).
+func TestEventSimMatchesRTLSemantics(t *testing.T) {
+	lib := celllib.Default()
+	for seed := int64(1); seed <= 25; seed++ {
+		c := randSyncCircuit(seed)
+		cycles := 24
+		stim := RandomStimulus(c, cycles, seed*7+1)
+		ref := rtlReference(c, stim, cycles)
+
+		// A period comfortably above the minimum keeps classic timing valid.
+		s, err := New(c, lib, Options{T: 10000, Cycles: cycles})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		tr, err := s.Run(stim)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if ms := CompareTraces(ref, tr, 1); len(ms) > 0 {
+			t.Fatalf("seed %d: event sim diverges from RTL semantics: %v", seed, ms[0])
+		}
+	}
+}

@@ -1,0 +1,451 @@
+// Package sim implements continuous-time event-driven logic simulation of
+// gate-level circuits with transport delays, edge-triggered flip-flops and
+// level-sensitive latches on phase-shifted clocks.
+//
+// Its purpose in the VirtualSync reproduction is functional verification:
+// an optimized circuit (with flip-flops removed and delay units inserted)
+// must latch exactly the same values at its boundary flip-flops and
+// primary outputs, in the same clock cycles, as the original circuit —
+// the paper's definition of preserved functionality.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"virtualsync/internal/celllib"
+	"virtualsync/internal/netlist"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	T      float64 // clock period
+	Duty   float64 // latch transparency starts at phase + Duty*T
+	Cycles int     // number of clock cycles to simulate
+
+	// OnEvent, when non-nil, receives every committed value change — a
+	// lightweight waveform dump for debugging.
+	OnEvent func(time float64, name string, value bool)
+}
+
+// Trace records sampled values: Trace[name][cycle] for every flip-flop
+// (value captured at its clock edge in that cycle) and primary output
+// (value present at the end of the cycle).
+type Trace map[string][]bool
+
+type eventKind int
+
+const (
+	evClock  eventKind = iota // flip-flop/latch clock action, PO sampling
+	evInput                   // primary-input change
+	evSignal                  // gate/net value change
+)
+
+type event struct {
+	time  float64
+	kind  eventKind
+	seq   int64 // FIFO tie-break within same (time, kind)
+	node  netlist.NodeID
+	value bool
+	cycle int
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	if q[i].kind != q[j].kind {
+		return q[i].kind < q[j].kind
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator drives one circuit.
+type Simulator struct {
+	c       *netlist.Circuit
+	lib     *celllib.Library
+	opts    Options
+	values  []bool
+	delays  []float64
+	fanouts [][]netlist.NodeID
+	queue   eventQueue
+	seq     int64
+	trace   Trace
+
+	// pending tracks, per node, the number of queued signal events and
+	// the value of the latest-scheduled one, so projected() is O(1).
+	pending map[netlist.NodeID]*pendingInfo
+}
+
+type pendingInfo struct {
+	count int
+	time  float64
+	seq   int64
+	value bool
+}
+
+// New prepares a simulator. The circuit must be structurally valid.
+func New(c *netlist.Circuit, lib *celllib.Library, opts Options) (*Simulator, error) {
+	if opts.T <= 0 || opts.Cycles <= 0 {
+		return nil, fmt.Errorf("sim: need positive period and cycle count")
+	}
+	if opts.Duty <= 0 || opts.Duty >= 1 {
+		opts.Duty = 0.5
+	}
+	delays, err := func() ([]float64, error) {
+		d := make([]float64, len(c.Nodes))
+		var derr error
+		c.Live(func(n *netlist.Node) {
+			if derr != nil {
+				return
+			}
+			d[n.ID], derr = lib.Delay(n)
+		})
+		return d, derr
+	}()
+	if err != nil {
+		return nil, fmt.Errorf("sim: %v", err)
+	}
+	return &Simulator{
+		c:       c,
+		lib:     lib,
+		opts:    opts,
+		values:  make([]bool, len(c.Nodes)),
+		delays:  delays,
+		fanouts: c.Fanouts(),
+		trace:   make(Trace),
+		pending: make(map[netlist.NodeID]*pendingInfo),
+	}, nil
+}
+
+// Run simulates the circuit for opts.Cycles cycles with the given
+// per-cycle primary-input stimulus: stimulus[cycle][i] drives the i-th
+// input (ordered as c.Inputs()). It returns the captured trace.
+func (s *Simulator) Run(stimulus [][]bool) (Trace, error) {
+	inputs := s.c.Inputs()
+	if len(stimulus) < s.opts.Cycles {
+		return nil, fmt.Errorf("sim: stimulus covers %d of %d cycles", len(stimulus), s.opts.Cycles)
+	}
+	for cyc, vec := range stimulus[:s.opts.Cycles] {
+		if len(vec) != len(inputs) {
+			return nil, fmt.Errorf("sim: cycle %d stimulus has %d values for %d inputs", cyc, len(vec), len(inputs))
+		}
+	}
+	T := s.opts.T
+
+	// Constants drive their value at time 0.
+	s.c.Live(func(n *netlist.Node) {
+		if n.Kind == netlist.KindConst1 {
+			s.values[n.ID] = true
+		}
+	})
+
+	// Settle initial combinational values (all sequential outputs and
+	// inputs start at 0). Combinational loops may not stabilize; the
+	// pass count is bounded and any residue flushes during warmup.
+	for pass := 0; pass < len(s.c.Nodes)+2; pass++ {
+		changed := false
+		s.c.Live(func(n *netlist.Node) {
+			if !n.Kind.IsCombinational() {
+				return
+			}
+			if v := evalGate(n, s.values); v != s.values[n.ID] {
+				s.values[n.ID] = v
+				changed = true
+			}
+		})
+		if !changed {
+			break
+		}
+	}
+
+	// Schedule all clock actions and input changes up front.
+	for cyc := 0; cyc < s.opts.Cycles; cyc++ {
+		base := float64(cyc) * T
+		// Primary-input changes at the cycle boundary (after the clock
+		// actions at the same instant, so edge-sampling sees old data).
+		for i, in := range inputs {
+			s.push(&event{time: base, kind: evInput, node: in.ID, value: stimulus[cyc][i], cycle: cyc})
+		}
+		// Flip-flop and latch clock actions; primary-output sampling.
+		s.c.Live(func(n *netlist.Node) {
+			switch n.Kind {
+			case netlist.KindDFF:
+				s.push(&event{time: base + n.Phase*T, kind: evClock, node: n.ID, cycle: cyc})
+			case netlist.KindLatch:
+				open := base + n.Phase*T + s.opts.Duty*T
+				s.push(&event{time: base + n.Phase*T, kind: evClock, node: n.ID, cycle: cyc, value: false}) // close
+				s.push(&event{time: open, kind: evClock, node: n.ID, cycle: cyc, value: true})              // open
+			case netlist.KindOutput:
+				// Sample at the end of the cycle.
+				s.push(&event{time: base + T, kind: evClock, node: n.ID, cycle: cyc})
+			}
+		})
+	}
+
+	// latchOpenAt maps each transparent latch to its opening-edge time;
+	// absent means closed. Pass-through responses are floored at
+	// open+tcq so data arriving just after the edge can never beat the
+	// opening-edge response itself (the transfer characteristic is
+	// max(open+tcq, in+tdq), matching core's delay-unit model).
+	latchOpenAt := make(map[netlist.NodeID]float64)
+	horizon := float64(s.opts.Cycles)*T + 10*T
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		s.popped(e)
+		if e.time > horizon {
+			break
+		}
+		switch e.kind {
+		case evInput:
+			s.setValue(e.node, e.value, e.time, latchOpenAt)
+		case evSignal:
+			s.setValue(e.node, e.value, e.time, latchOpenAt)
+		case evClock:
+			n := s.c.Node(e.node)
+			switch n.Kind {
+			case netlist.KindDFF:
+				d := s.values[n.Fanins[0]]
+				s.capture(n.Name, e.cycle, d)
+				if d != s.projected(n.ID, e.time) {
+					s.push(&event{time: e.time + s.lib.FF.Tcq, kind: evSignal, node: n.ID, value: d})
+				}
+			case netlist.KindLatch:
+				if e.value { // opening edge: propagate waiting data
+					latchOpenAt[n.ID] = e.time
+					d := s.values[n.Fanins[0]]
+					s.capture(n.Name, e.cycle, d)
+					if d != s.projected(n.ID, e.time) {
+						s.push(&event{time: e.time + s.lib.Latch.Tcq, kind: evSignal, node: n.ID, value: d})
+					}
+				} else {
+					delete(latchOpenAt, n.ID)
+				}
+			case netlist.KindOutput:
+				s.capture(n.Name, e.cycle, s.values[n.Fanins[0]])
+			}
+		}
+	}
+	return s.trace, nil
+}
+
+// push adds an event with a FIFO sequence number and indexes signal
+// events per node.
+func (s *Simulator) push(e *event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, e)
+	if e.kind != evSignal {
+		return
+	}
+	p := s.pending[e.node]
+	if p == nil {
+		p = &pendingInfo{}
+		s.pending[e.node] = p
+	}
+	p.count++
+	if e.time > p.time || (e.time == p.time && e.seq > p.seq) || p.count == 1 {
+		p.time, p.seq, p.value = e.time, e.seq, e.value
+	}
+}
+
+// popped updates the pending index when a signal event leaves the queue.
+func (s *Simulator) popped(e *event) {
+	if e.kind != evSignal {
+		return
+	}
+	if p := s.pending[e.node]; p != nil {
+		p.count--
+		if p.count <= 0 {
+			delete(s.pending, e.node)
+		}
+	}
+}
+
+// projected returns the value node id will have after all its pending
+// scheduled changes; used to suppress redundant events.
+func (s *Simulator) projected(id netlist.NodeID, now float64) bool {
+	if p := s.pending[id]; p != nil {
+		return p.value
+	}
+	return s.values[id]
+}
+
+// setValue applies a value change and propagates to fanouts.
+func (s *Simulator) setValue(id netlist.NodeID, v bool, now float64, latchOpenAt map[netlist.NodeID]float64) {
+	if s.values[id] == v {
+		return
+	}
+	s.values[id] = v
+	if s.opts.OnEvent != nil {
+		s.opts.OnEvent(now, s.c.Node(id).Name, v)
+	}
+	for _, fo := range s.fanouts[id] {
+		n := s.c.Node(fo)
+		switch {
+		case n.Kind.IsCombinational():
+			nv := evalGate(n, s.values)
+			s.push(&event{time: now + s.delays[n.ID], kind: evSignal, node: n.ID, value: nv})
+		case n.Kind == netlist.KindLatch:
+			openAt, open := latchOpenAt[n.ID]
+			if !open {
+				break
+			}
+			t := now + s.lib.Latch.Tdq
+			if min := openAt + s.lib.Latch.Tcq; t < min {
+				t = min
+			}
+			s.push(&event{time: t, kind: evSignal, node: n.ID, value: v})
+		}
+	}
+}
+
+// evalGate computes a combinational gate's output from current values.
+func evalGate(n *netlist.Node, values []bool) bool {
+	switch n.Kind {
+	case netlist.KindBuf:
+		return values[n.Fanins[0]]
+	case netlist.KindNot:
+		return !values[n.Fanins[0]]
+	case netlist.KindAnd, netlist.KindNand:
+		v := true
+		for _, f := range n.Fanins {
+			v = v && values[f]
+		}
+		if n.Kind == netlist.KindNand {
+			v = !v
+		}
+		return v
+	case netlist.KindOr, netlist.KindNor:
+		v := false
+		for _, f := range n.Fanins {
+			v = v || values[f]
+		}
+		if n.Kind == netlist.KindNor {
+			v = !v
+		}
+		return v
+	case netlist.KindXor, netlist.KindXnor:
+		v := false
+		for _, f := range n.Fanins {
+			v = v != values[f]
+		}
+		if n.Kind == netlist.KindXnor {
+			v = !v
+		}
+		return v
+	}
+	return false
+}
+
+// capture records a sampled value in the trace.
+func (s *Simulator) capture(name string, cycle int, v bool) {
+	tr := s.trace[name]
+	for len(tr) <= cycle {
+		tr = append(tr, false)
+	}
+	tr[cycle] = v
+	s.trace[name] = tr
+}
+
+// RandomStimulus generates a deterministic random input sequence for the
+// circuit's primary inputs.
+func RandomStimulus(c *netlist.Circuit, cycles int, seed int64) [][]bool {
+	rng := rand.New(rand.NewSource(seed))
+	n := len(c.Inputs())
+	out := make([][]bool, cycles)
+	for i := range out {
+		vec := make([]bool, n)
+		for j := range vec {
+			vec[j] = rng.Intn(2) == 1
+		}
+		out[i] = vec
+	}
+	return out
+}
+
+// Mismatch describes one divergence between two traces.
+type Mismatch struct {
+	Name  string
+	Cycle int
+	A, B  bool
+}
+
+func (m Mismatch) String() string {
+	return fmt.Sprintf("%s@%d: %v vs %v", m.Name, m.Cycle, m.A, m.B)
+}
+
+// CompareTraces checks that every signal present in both traces agrees
+// from cycle warmup onward, and returns all mismatches.
+func CompareTraces(a, b Trace, warmup int) []Mismatch {
+	var names []string
+	for name := range a {
+		if _, ok := b[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var out []Mismatch
+	for _, name := range names {
+		ta, tb := a[name], b[name]
+		n := len(ta)
+		if len(tb) < n {
+			n = len(tb)
+		}
+		for cyc := warmup; cyc < n; cyc++ {
+			if ta[cyc] != tb[cyc] {
+				out = append(out, Mismatch{name, cyc, ta[cyc], tb[cyc]})
+			}
+		}
+	}
+	return out
+}
+
+// VerifyEquivalence simulates both circuits with the same per-cycle
+// random stimulus — each at its own clock period (the optimized circuit
+// runs faster; functionality is defined per cycle index, not wall clock)
+// — and compares every common flip-flop and primary output from cycle
+// warmup onward. Both circuits must have the same primary inputs.
+func VerifyEquivalence(a, b *netlist.Circuit, lib *celllib.Library, Ta, Tb float64, cycles, warmup int, seed int64) ([]Mismatch, error) {
+	ia, ib := a.Inputs(), b.Inputs()
+	if len(ia) != len(ib) {
+		return nil, fmt.Errorf("sim: input counts differ: %d vs %d", len(ia), len(ib))
+	}
+	for i := range ia {
+		if ia[i].Name != ib[i].Name {
+			return nil, fmt.Errorf("sim: input %d name mismatch: %q vs %q", i, ia[i].Name, ib[i].Name)
+		}
+	}
+	stim := RandomStimulus(a, cycles, seed)
+	sa, err := New(a, lib, Options{T: Ta, Cycles: cycles})
+	if err != nil {
+		return nil, err
+	}
+	ta, err := sa.Run(stim)
+	if err != nil {
+		return nil, err
+	}
+	sb, err := New(b, lib, Options{T: Tb, Cycles: cycles})
+	if err != nil {
+		return nil, err
+	}
+	tb, err := sb.Run(stim)
+	if err != nil {
+		return nil, err
+	}
+	return CompareTraces(ta, tb, warmup), nil
+}

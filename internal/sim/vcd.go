@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"virtualsync/internal/celllib"
+	"virtualsync/internal/netlist"
+)
+
+// VCDWriter records value changes during simulation and emits an IEEE
+// 1364 VCD (value change dump) file, viewable in GTKWave and similar
+// tools. Wire it to a simulation through Options.OnEvent:
+//
+//	vcd := sim.NewVCDWriter(c, 1) // 1 time unit per picosecond
+//	opts.OnEvent = vcd.Event
+//	... run ...
+//	vcd.Write(f)
+type VCDWriter struct {
+	timescale int // picoseconds per VCD time unit
+	names     []string
+	events    []vcdEvent
+}
+
+type vcdEvent struct {
+	time  float64
+	name  string
+	value bool
+}
+
+// NewVCDWriter prepares a writer dumping every live net of the circuit.
+func NewVCDWriter(c *netlist.Circuit, timescalePs int) *VCDWriter {
+	if timescalePs <= 0 {
+		timescalePs = 1
+	}
+	w := &VCDWriter{timescale: timescalePs}
+	c.Live(func(n *netlist.Node) {
+		if n.Kind != netlist.KindOutput {
+			w.names = append(w.names, n.Name)
+		}
+	})
+	sort.Strings(w.names)
+	return w
+}
+
+// Event records one value change; pass this method as Options.OnEvent.
+func (w *VCDWriter) Event(time float64, name string, value bool) {
+	w.events = append(w.events, vcdEvent{time, name, value})
+}
+
+// vcdID returns a compact printable identifier for signal index i.
+func vcdID(i int) string {
+	const alphabet = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	var sb strings.Builder
+	for {
+		sb.WriteByte(alphabet[i%len(alphabet)])
+		i /= len(alphabet)
+		if i == 0 {
+			break
+		}
+	}
+	return sb.String()
+}
+
+// Write emits the dump. Events are grouped by (quantized) time; every
+// declared signal starts at 0 in the initial dumpvars block.
+func (w *VCDWriter) Write(out io.Writer) error {
+	bw := bufio.NewWriter(out)
+	fmt.Fprintf(bw, "$timescale %dps $end\n", w.timescale)
+	fmt.Fprintln(bw, "$scope module virtualsync $end")
+	ids := make(map[string]string, len(w.names))
+	for i, n := range w.names {
+		id := vcdID(i)
+		ids[n] = id
+		// VCD identifiers may not contain whitespace; net names are safe.
+		fmt.Fprintf(bw, "$var wire 1 %s %s $end\n", id, n)
+	}
+	fmt.Fprintln(bw, "$upscope $end")
+	fmt.Fprintln(bw, "$enddefinitions $end")
+	fmt.Fprintln(bw, "$dumpvars")
+	for _, n := range w.names {
+		fmt.Fprintf(bw, "0%s\n", ids[n])
+	}
+	fmt.Fprintln(bw, "$end")
+
+	evs := append([]vcdEvent(nil), w.events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].time < evs[j].time })
+	lastT := int64(-1)
+	for _, e := range evs {
+		id, ok := ids[e.name]
+		if !ok {
+			continue // undeclared (e.g. a net added mid-run)
+		}
+		t := int64(e.time / float64(w.timescale))
+		if t != lastT {
+			fmt.Fprintf(bw, "#%d\n", t)
+			lastT = t
+		}
+		v := "0"
+		if e.value {
+			v = "1"
+		}
+		fmt.Fprintf(bw, "%s%s\n", v, id)
+	}
+	return bw.Flush()
+}
+
+// DumpVCD is a convenience helper: simulate the circuit with the given
+// stimulus and write the full waveform dump to out.
+func DumpVCD(c *netlist.Circuit, lib *celllib.Library, opts Options, stimulus [][]bool, out io.Writer) (Trace, error) {
+	vcd := NewVCDWriter(c, 1)
+	opts.OnEvent = vcd.Event
+	s, err := New(c, lib, opts)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := s.Run(stimulus)
+	if err != nil {
+		return nil, err
+	}
+	if err := vcd.Write(out); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"virtualsync/internal/netlist"
+)
+
+func TestVCDIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 2000; i++ {
+		id := vcdID(i)
+		if id == "" || strings.ContainsAny(id, " \t\n") {
+			t.Fatalf("bad id %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestDumpVCD(t *testing.T) {
+	lib := lib31(t)
+	c := pipeline(t)
+	var sb strings.Builder
+	stim := [][]bool{{true}, {false}, {true}, {true}}
+	tr, err := DumpVCD(c, lib, Options{T: 10, Cycles: 4}, stim, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr["F1"]) != 4 {
+		t.Fatalf("trace missing: %v", tr)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale 1ps $end",
+		"$var wire 1",
+		"$dumpvars",
+		"$enddefinitions $end",
+		"#", // at least one timestamped change
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// The input net must be declared and must toggle.
+	if !strings.Contains(out, " in $end") {
+		t.Fatalf("input net not declared:\n%s", out)
+	}
+}
+
+func TestVCDSkipsUndeclared(t *testing.T) {
+	c := netlist.New("x")
+	c.MustAdd("a", netlist.KindInput)
+	w := NewVCDWriter(c, 1)
+	w.Event(1, "ghost", true)
+	var sb strings.Builder
+	if err := w.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "ghost") {
+		t.Fatal("undeclared signal leaked into the dump")
+	}
+}

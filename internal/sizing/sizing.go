@@ -1,0 +1,206 @@
+// Package sizing implements discrete gate sizing against a cell library:
+// a sensitivity-guided critical-path speedup loop (in the spirit of the
+// sizing literature the VirtualSync paper cites) followed by slack-driven
+// area recovery. Together with retiming it forms the "retiming&sizing"
+// baseline of the paper's evaluation.
+package sizing
+
+import (
+	"fmt"
+	"sort"
+
+	"virtualsync/internal/celllib"
+	"virtualsync/internal/netlist"
+	"virtualsync/internal/sta"
+)
+
+// Result summarizes a sizing run.
+type Result struct {
+	PeriodBefore float64
+	PeriodAfter  float64
+	AreaBefore   float64
+	AreaAfter    float64
+	Upsized      int
+	Downsized    int
+}
+
+// SizeForSpeed greedily upsizes gates on the critical path, picking at
+// each step the gate with the best delay-reduction per area-increase
+// ratio, until the minimum period stops improving. The circuit is
+// modified in place.
+func SizeForSpeed(c *netlist.Circuit, lib *celllib.Library) (*Result, error) {
+	res := &Result{}
+	r, err := sta.Analyze(c, lib)
+	if err != nil {
+		return nil, err
+	}
+	res.PeriodBefore = r.MinPeriod
+	res.AreaBefore, err = lib.CircuitArea(c)
+	if err != nil {
+		return nil, err
+	}
+
+	maxSteps := 4 * c.Len() // every gate can move through its drive range
+speedup:
+	for step := 0; step < maxSteps; step++ {
+		var best *netlist.Node
+		bestScore := 0.0
+		bestDrive := 0
+		for _, id := range r.CriticalPath {
+			n := c.Node(id)
+			if n == nil || !n.Kind.IsCombinational() {
+				continue
+			}
+			cur, err := lib.Delay(n)
+			if err != nil {
+				return nil, err
+			}
+			drive, delay, areaDelta, ok := lib.FasterDrive(n)
+			if !ok {
+				continue
+			}
+			gain := cur - delay
+			if gain <= 0 {
+				continue
+			}
+			score := gain
+			if areaDelta > 0 {
+				score = gain / areaDelta
+			} else {
+				score = gain * 1e6 // free speedup
+			}
+			if score > bestScore {
+				bestScore = score
+				best = n
+				bestDrive = drive
+			}
+		}
+		if best == nil {
+			break // critical path fully upsized
+		}
+		prevDrive := best.Drive
+		best.Drive = bestDrive
+		r2, err := sta.Analyze(c, lib)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case r2.MinPeriod < r.MinPeriod-1e-9:
+			// Strict improvement.
+			res.Upsized++
+			r = r2
+		case r2.MinPeriod < r.MinPeriod+1e-9 && !samePath(r.CriticalPath, r2.CriticalPath):
+			// Equal period but the critical path moved: another path now
+			// limits the clock; keep going. Drives only ever increase,
+			// so this cannot cycle.
+			res.Upsized++
+			r = r2
+		default:
+			// No gain: undo and stop.
+			best.Drive = prevDrive
+			break speedup
+		}
+	}
+	res.PeriodAfter = r.MinPeriod
+	res.AreaAfter, err = lib.CircuitArea(c)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func samePath(a, b []netlist.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RecoverArea downsizes gates that have enough setup slack under clock
+// period T, visiting the largest-slack gates first. The circuit is
+// modified in place; timing at period T is preserved (verified by STA
+// after every accepted move).
+func RecoverArea(c *netlist.Circuit, lib *celllib.Library, T float64) (*Result, error) {
+	res := &Result{PeriodBefore: T, PeriodAfter: T}
+	var err error
+	res.AreaBefore, err = lib.CircuitArea(c)
+	if err != nil {
+		return nil, err
+	}
+	r, err := sta.Analyze(c, lib)
+	if err != nil {
+		return nil, err
+	}
+	if !r.MeetsPeriod(T) {
+		return nil, fmt.Errorf("sizing: circuit misses period %g before area recovery (min %g)", T, r.MinPeriod)
+	}
+
+	for pass := 0; pass < 4; pass++ {
+		gates := c.Gates()
+		sort.Slice(gates, func(i, j int) bool {
+			return r.Slack(gates[i].ID, T) > r.Slack(gates[j].ID, T)
+		})
+		changed := false
+		for _, n := range gates {
+			drive, delay, areaDelta, ok := lib.SlowerDrive(n)
+			if !ok || areaDelta >= 0 {
+				continue
+			}
+			cur, err := lib.Delay(n)
+			if err != nil {
+				return nil, err
+			}
+			// Quick slack filter before the exact check.
+			if r.Slack(n.ID, T) < (delay-cur)-1e-9 {
+				continue
+			}
+			prev := n.Drive
+			n.Drive = drive
+			r2, err := sta.Analyze(c, lib)
+			if err != nil {
+				return nil, err
+			}
+			if !r2.MeetsPeriod(T) {
+				n.Drive = prev
+				continue
+			}
+			r = r2
+			res.Downsized++
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	res.AreaAfter, err = lib.CircuitArea(c)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Size runs speedup followed by area recovery at the achieved period and
+// returns the combined result.
+func Size(c *netlist.Circuit, lib *celllib.Library) (*Result, error) {
+	up, err := SizeForSpeed(c, lib)
+	if err != nil {
+		return nil, err
+	}
+	down, err := RecoverArea(c, lib, up.PeriodAfter)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		PeriodBefore: up.PeriodBefore,
+		PeriodAfter:  up.PeriodAfter,
+		AreaBefore:   up.AreaBefore,
+		AreaAfter:    down.AreaAfter,
+		Upsized:      up.Upsized,
+		Downsized:    down.Downsized,
+	}, nil
+}

@@ -1,0 +1,206 @@
+package sizing
+
+import (
+	"math"
+	"testing"
+
+	"virtualsync/internal/celllib"
+	"virtualsync/internal/netlist"
+	"virtualsync/internal/sta"
+)
+
+// chainCircuit builds FF -> g1 -> g2 -> ... -> gN -> FF with default cells
+// at weakest drive.
+func chainCircuit(t testing.TB, n int, kind netlist.Kind) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New("chain")
+	in := c.MustAdd("in", netlist.KindInput)
+	prev := c.MustAdd("f0", netlist.KindDFF, in.ID).ID
+	for i := 0; i < n; i++ {
+		name := "g" + itoa(i)
+		var g *netlist.Node
+		if kind.MaxFanins() == 1 {
+			g = c.MustAdd(name, kind, prev)
+		} else {
+			g = c.MustAdd(name, kind, prev, prev)
+		}
+		prev = g.ID
+	}
+	prev = c.MustAdd("f1", netlist.KindDFF, prev).ID
+	c.MustAdd("out", netlist.KindOutput, prev)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return itoa(i/10) + string(rune('0'+i%10))
+}
+
+func TestSizeForSpeedChain(t *testing.T) {
+	lib := celllib.Default()
+	c := chainCircuit(t, 5, netlist.KindNand) // 5 NANDs at drive 0: delay 24 each
+	before, _ := sta.MinPeriod(c, lib)
+	want := 30.0 + 5*24 + 12 // tcq + path + tsu = 162
+	if math.Abs(before-want) > 1e-9 {
+		t.Fatalf("period before = %g, want %g", before, want)
+	}
+	res, err := SizeForSpeed(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fully upsized chain: 5 * 12 + 42 = 102.
+	wantAfter := 30.0 + 5*12 + 12
+	if math.Abs(res.PeriodAfter-wantAfter) > 1e-9 {
+		t.Fatalf("period after = %g, want %g", res.PeriodAfter, wantAfter)
+	}
+	if res.Upsized != 10 { // each NAND takes two steps (drive 0->1->2)
+		t.Errorf("Upsized = %d, want 10", res.Upsized)
+	}
+	if res.AreaAfter <= res.AreaBefore {
+		t.Error("area should grow when upsizing")
+	}
+}
+
+func TestSizeForSpeedStopsAtMaxDrive(t *testing.T) {
+	lib := celllib.Default()
+	c := chainCircuit(t, 2, netlist.KindNot)
+	for _, g := range c.Gates() {
+		g.Drive = 2 // already fastest
+	}
+	res, err := SizeForSpeed(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Upsized != 0 || res.PeriodAfter != res.PeriodBefore {
+		t.Fatalf("unexpected work on maxed chain: %+v", res)
+	}
+}
+
+func TestRecoverAreaDownsizesSlackGates(t *testing.T) {
+	lib := celllib.Default()
+	// Two parallel paths between FFs: a long NAND chain (critical) and a
+	// single fast NOT (huge slack). Upsize everything, then recover: the
+	// NOT should be downsized back, the chain must stay fast.
+	c := netlist.New("par")
+	in := c.MustAdd("in", netlist.KindInput)
+	f0 := c.MustAdd("f0", netlist.KindDFF, in.ID)
+	prev := f0.ID
+	for i := 0; i < 4; i++ {
+		g := c.MustAdd("g"+itoa(i), netlist.KindNand, prev, prev)
+		g.Drive = 2
+		prev = g.ID
+	}
+	nt := c.MustAdd("nt", netlist.KindNot, f0.ID)
+	nt.Drive = 2
+	join := c.MustAdd("join", netlist.KindAnd, prev, nt.ID)
+	join.Drive = 2
+	f1 := c.MustAdd("f1", netlist.KindDFF, join.ID)
+	c.MustAdd("out", netlist.KindOutput, f1.ID)
+
+	T, _ := sta.MinPeriod(c, lib)
+	areaBefore, _ := lib.CircuitArea(c)
+	res, err := RecoverArea(c, lib, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Downsized == 0 {
+		t.Fatal("expected downsizing of the slack NOT gate")
+	}
+	if nt.Drive != 0 {
+		t.Errorf("NOT drive = %d, want 0", nt.Drive)
+	}
+	after, _ := sta.MinPeriod(c, lib)
+	if after > T+1e-9 {
+		t.Fatalf("area recovery broke timing: %g > %g", after, T)
+	}
+	if res.AreaAfter >= areaBefore {
+		t.Error("area recovery did not reduce area")
+	}
+}
+
+func TestRecoverAreaRejectsMissedPeriod(t *testing.T) {
+	lib := celllib.Default()
+	c := chainCircuit(t, 3, netlist.KindNand)
+	if _, err := RecoverArea(c, lib, 10); err == nil {
+		t.Fatal("RecoverArea should reject an unmeetable period")
+	}
+}
+
+func TestSizeCombined(t *testing.T) {
+	lib := celllib.Default()
+	c := netlist.New("comb")
+	in := c.MustAdd("in", netlist.KindInput)
+	f0 := c.MustAdd("f0", netlist.KindDFF, in.ID)
+	prev := f0.ID
+	for i := 0; i < 3; i++ {
+		g := c.MustAdd("g"+itoa(i), netlist.KindXor, prev, f0.ID)
+		prev = g.ID
+	}
+	side := c.MustAdd("side", netlist.KindNot, f0.ID)
+	join := c.MustAdd("join", netlist.KindOr, prev, side.ID)
+	f1 := c.MustAdd("f1", netlist.KindDFF, join.ID)
+	c.MustAdd("out", netlist.KindOutput, f1.ID)
+
+	res, err := Size(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeriodAfter >= res.PeriodBefore {
+		t.Fatalf("sizing did not improve period: %g -> %g", res.PeriodBefore, res.PeriodAfter)
+	}
+	got, _ := sta.MinPeriod(c, lib)
+	if math.Abs(got-res.PeriodAfter) > 1e-9 {
+		t.Fatalf("reported period %g != measured %g", res.PeriodAfter, got)
+	}
+	// The off-path NOT gate must remain at its weakest drive.
+	if side.Drive != 0 {
+		t.Errorf("side gate drive = %d, want 0", side.Drive)
+	}
+}
+
+func TestSizeIdempotentOnSecondRun(t *testing.T) {
+	lib := celllib.Default()
+	c := chainCircuit(t, 4, netlist.KindOr)
+	if _, err := Size(c, lib); err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := sta.MinPeriod(c, lib)
+	res2, err := Size(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res2.PeriodAfter-p1) > 1e-9 {
+		t.Fatalf("second Size changed period: %g -> %g", p1, res2.PeriodAfter)
+	}
+}
+
+func TestSizeFixedCellsIsNoop(t *testing.T) {
+	// A circuit whose critical path uses fixed-drive cells cannot be
+	// sized; the flow must terminate cleanly without touching it.
+	lib := celllib.Default()
+	c := netlist.New("fixed")
+	in := c.MustAdd("in", netlist.KindInput)
+	f0 := c.MustAdd("f0", netlist.KindDFF, in.ID)
+	prev := f0.ID
+	for i := 0; i < 4; i++ {
+		g := c.MustAdd("g"+itoa(i), netlist.KindXor, prev, f0.ID)
+		g.Cell = "XORF"
+		prev = g.ID
+	}
+	f1 := c.MustAdd("f1", netlist.KindDFF, prev)
+	c.MustAdd("out", netlist.KindOutput, f1.ID)
+
+	before, _ := sta.MinPeriod(c, lib)
+	res, err := Size(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeriodAfter != before || res.Upsized != 0 || res.Downsized != 0 {
+		t.Fatalf("fixed-cell circuit was modified: %+v (before %g)", res, before)
+	}
+}

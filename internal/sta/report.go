@@ -1,0 +1,98 @@
+package sta
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"virtualsync/internal/celllib"
+	"virtualsync/internal/netlist"
+)
+
+// EndpointSlack is one row of a timing report: a capture endpoint, its
+// required period contribution and its slack at a target period.
+type EndpointSlack struct {
+	Endpoint netlist.NodeID
+	Name     string
+	// Required is the minimum clock period this endpoint alone demands
+	// (arrival + setup for flip-flops, arrival for outputs).
+	Required float64
+	// Slack is T - Required for the report's target period.
+	Slack float64
+}
+
+// WorstEndpoints returns the k most critical capture endpoints under
+// clock period T, sorted most-critical first. k <= 0 returns all.
+func (r *Result) WorstEndpoints(c *netlist.Circuit, lib *celllib.Library, T float64, k int) []EndpointSlack {
+	var rows []EndpointSlack
+	c.Live(func(n *netlist.Node) {
+		if len(n.Fanins) == 0 {
+			return
+		}
+		var req float64
+		switch n.Kind {
+		case netlist.KindDFF:
+			req = r.MaxArrival[n.Fanins[0]] + lib.FF.Tsu
+		case netlist.KindLatch:
+			req = r.MaxArrival[n.Fanins[0]] + lib.Latch.Tsu
+		case netlist.KindOutput:
+			req = r.MaxArrival[n.Fanins[0]]
+		default:
+			return
+		}
+		rows = append(rows, EndpointSlack{
+			Endpoint: n.ID,
+			Name:     n.Name,
+			Required: req,
+			Slack:    T - req,
+		})
+	})
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Slack != rows[j].Slack {
+			return rows[i].Slack < rows[j].Slack
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	if k > 0 && len(rows) > k {
+		rows = rows[:k]
+	}
+	return rows
+}
+
+// PathTo reconstructs the slowest path ending at the given capture
+// endpoint, from launch point to the endpoint inclusive.
+func (r *Result) PathTo(c *netlist.Circuit, endpoint netlist.NodeID) []netlist.NodeID {
+	end := c.Node(endpoint)
+	if end == nil || len(end.Fanins) == 0 {
+		return nil
+	}
+	var path []netlist.NodeID
+	cur := end.Fanins[0]
+	for cur != netlist.InvalidID {
+		path = append(path, cur)
+		cur = r.pred[cur]
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return append(path, endpoint)
+}
+
+// FormatReport renders a classic timing report: the k worst endpoints at
+// period T, each with its critical path and per-node arrivals.
+func (r *Result) FormatReport(c *netlist.Circuit, lib *celllib.Library, T float64, k int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "timing report @ T=%.2f (minimum period %.2f)\n", T, r.MinPeriod)
+	for i, ep := range r.WorstEndpoints(c, lib, T, k) {
+		fmt.Fprintf(&b, "#%d endpoint %s: required %.2f, slack %+.2f\n",
+			i+1, ep.Name, ep.Required, ep.Slack)
+		for _, id := range r.PathTo(c, ep.Endpoint) {
+			n := c.Node(id)
+			fmt.Fprintf(&b, "    %-24s %-6v arrival %8.2f\n", n.Name, n.Kind, r.MaxArrival[id])
+		}
+	}
+	if len(r.HoldViolations) > 0 {
+		fmt.Fprintf(&b, "hold violations: %d endpoints\n", len(r.HoldViolations))
+	}
+	return b.String()
+}

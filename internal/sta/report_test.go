@@ -1,0 +1,72 @@
+package sta
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWorstEndpoints(t *testing.T) {
+	c := fig1a(t)
+	lib := fig1Lib(t)
+	r, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := r.WorstEndpoints(c, lib, 21, 0)
+	// Endpoints: F3 (worst, req 21), F4, F1, F2, out.
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	if rows[0].Name != "F3" || math.Abs(rows[0].Required-21) > 1e-9 {
+		t.Fatalf("worst = %+v, want F3@21", rows[0])
+	}
+	if math.Abs(rows[0].Slack) > 1e-9 {
+		t.Fatalf("worst slack = %g, want 0 at T=21", rows[0].Slack)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Slack < rows[i-1].Slack {
+			t.Fatal("rows not sorted by slack")
+		}
+	}
+	if got := r.WorstEndpoints(c, lib, 21, 2); len(got) != 2 {
+		t.Fatalf("k=2 returned %d rows", len(got))
+	}
+}
+
+func TestPathTo(t *testing.T) {
+	c := fig1a(t)
+	lib := fig1Lib(t)
+	r, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3 := c.ByName("F3")
+	path := r.PathTo(c, f3.ID)
+	var names []string
+	for _, id := range path {
+		names = append(names, c.Node(id).Name)
+	}
+	want := []string{"F2", "g1", "g2", "gx", "F3"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("PathTo = %v, want %v", names, want)
+	}
+	if r.PathTo(c, c.ByName("a").ID) != nil {
+		t.Fatal("PathTo of a source should be nil")
+	}
+}
+
+func TestFormatReport(t *testing.T) {
+	c := fig1a(t)
+	lib := fig1Lib(t)
+	r, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := r.FormatReport(c, lib, 21, 2)
+	for _, want := range []string{"timing report @ T=21.00", "#1 endpoint F3", "slack +0.00", "arrival"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

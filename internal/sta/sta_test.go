@@ -1,0 +1,321 @@
+package sta
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"virtualsync/internal/celllib"
+	"virtualsync/internal/netlist"
+)
+
+// fig1Lib builds a library with explicit fixed-delay cells W1..W9 (delay =
+// number, unit area) plus the defaults, and the paper's Fig. 1 flip-flop
+// timing tcq=3, tsu=1, th=1.
+func fig1Lib(t testing.TB) *celllib.Library {
+	t.Helper()
+	l := celllib.Uniform(4,
+		celllib.SeqTiming{Tcq: 3, Tsu: 1, Th: 1, Area: 4},
+		celllib.SeqTiming{Tcq: 2, Tdq: 1, Tsu: 1, Th: 1, Area: 3})
+	for d := 1; d <= 9; d++ {
+		name := "W" + string(rune('0'+d))
+		if _, err := l.AddCell(name, netlist.KindBuf, []celllib.Option{{Delay: float64(d), Area: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+// fig1a builds a circuit shaped like the paper's Fig. 1(a):
+//
+//	F2 -> g1(5) -> g2(6) -> gx(XOR,6) -> F3 -> g4(4) -> F4 -> out
+//	F1 -> g5(3) ----------------------------^ (joins g4)
+//	F3 ---------------------^ (feedback into gx)
+//
+// Critical path F2->F3 has combinational delay 17, so the minimum period
+// with tcq=3, tsu=1 is 21 (paper Section 2).
+func fig1a(t testing.TB) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New("fig1a")
+	a := c.MustAdd("a", netlist.KindInput)
+	b := c.MustAdd("b", netlist.KindInput)
+	f1 := c.MustAdd("F1", netlist.KindDFF, a.ID)
+	f2 := c.MustAdd("F2", netlist.KindDFF, b.ID)
+	g1 := c.MustAdd("g1", netlist.KindBuf, f2.ID)
+	g1.Cell = "W5"
+	g2 := c.MustAdd("g2", netlist.KindBuf, g1.ID)
+	g2.Cell = "W6"
+	gx := c.MustAdd("gx", netlist.KindXor, g2.ID, g2.ID)
+	gx.Cell = "W6"
+	f3 := c.MustAdd("F3", netlist.KindDFF, gx.ID)
+	gx.Fanins[1] = f3.ID // feedback loop through F3
+	g5 := c.MustAdd("g5", netlist.KindBuf, f1.ID)
+	g5.Cell = "W3"
+	g4 := c.MustAdd("g4", netlist.KindAnd, f3.ID, g5.ID)
+	g4.Cell = "W4"
+	f4 := c.MustAdd("F4", netlist.KindDFF, g4.ID)
+	c.MustAdd("out", netlist.KindOutput, f4.ID)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFig1aMinPeriod(t *testing.T) {
+	c := fig1a(t)
+	lib := fig1Lib(t)
+	r, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.MinPeriod-21) > 1e-9 {
+		t.Fatalf("MinPeriod = %g, want 21", r.MinPeriod)
+	}
+	if got := c.Node(r.WorstEndpoint).Name; got != "F3" {
+		t.Fatalf("WorstEndpoint = %s, want F3", got)
+	}
+}
+
+func TestFig1aArrivals(t *testing.T) {
+	c := fig1a(t)
+	lib := fig1Lib(t)
+	r, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"g1": 3 + 5,
+		"g2": 3 + 11,
+		"gx": 3 + 17, // max(g2@14, F3@3) + 6
+		"g5": 3 + 3,
+		"g4": 3 + 17 + 4 - 17 + 14, // max(F3@3, g5@6) + 4 = 10
+	}
+	want["g4"] = 10
+	for name, w := range want {
+		n := c.ByName(name)
+		if got := r.MaxArrival[n.ID]; math.Abs(got-w) > 1e-9 {
+			t.Errorf("MaxArrival[%s] = %g, want %g", name, got, w)
+		}
+	}
+	// Min arrival at gx comes through the F3 feedback: 3 + 6 = 9.
+	gx := c.ByName("gx")
+	if got := r.MinArrival[gx.ID]; math.Abs(got-9) > 1e-9 {
+		t.Errorf("MinArrival[gx] = %g, want 9", got)
+	}
+}
+
+func TestFig1aCriticalPath(t *testing.T) {
+	c := fig1a(t)
+	lib := fig1Lib(t)
+	r, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, id := range r.CriticalPath {
+		names = append(names, c.Node(id).Name)
+	}
+	want := []string{"F2", "g1", "g2", "gx", "F3"}
+	if len(names) != len(want) {
+		t.Fatalf("CriticalPath = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("CriticalPath = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestFig1aDownstream(t *testing.T) {
+	c := fig1a(t)
+	lib := fig1Lib(t)
+	r, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From g1's output: 6 (g2) + 6 (gx) + 1 (tsu at F3) = 13.
+	g1 := c.ByName("g1")
+	if got := r.Down[g1.ID]; math.Abs(got-13) > 1e-9 {
+		t.Errorf("Down[g1] = %g, want 13", got)
+	}
+	// From g4's output: setup at F4 = 1.
+	g4 := c.ByName("g4")
+	if got := r.Down[g4.ID]; math.Abs(got-1) > 1e-9 {
+		t.Errorf("Down[g4] = %g, want 1", got)
+	}
+	// WorstPathThrough g2 = 14 + 7 = 21 (the critical path).
+	g2 := c.ByName("g2")
+	if got := r.WorstPathThrough(g2.ID); math.Abs(got-21) > 1e-9 {
+		t.Errorf("WorstPathThrough[g2] = %g, want 21", got)
+	}
+	// Slack of g5 at T=21: 21 - (6 + 4+1) = 10.
+	g5 := c.ByName("g5")
+	if got := r.Slack(g5.ID, 21); math.Abs(got-10) > 1e-9 {
+		t.Errorf("Slack[g5] = %g, want 10", got)
+	}
+}
+
+func TestHoldCheck(t *testing.T) {
+	lib := fig1Lib(t)
+	c := netlist.New("hold")
+	a := c.MustAdd("a", netlist.KindInput)
+	pad := c.MustAdd("pad", netlist.KindBuf, a.ID) // pad PI so its min arrival meets hold
+	f1 := c.MustAdd("f1", netlist.KindDFF, pad.ID)
+	c.MustAdd("f2", netlist.KindDFF, f1.ID) // FF->FF direct: arrival tcq=3 >= th=1, OK
+	r, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.HoldViolations) != 0 {
+		t.Fatalf("unexpected hold violations: %v", r.HoldViolations)
+	}
+	// A library where th > tcq creates a violation on the direct edge.
+	bad := celllib.Uniform(4,
+		celllib.SeqTiming{Tcq: 1, Tsu: 1, Th: 2, Area: 4},
+		celllib.SeqTiming{Tcq: 1, Tdq: 1, Tsu: 1, Th: 2, Area: 3})
+	r, err = Analyze(c, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.HoldViolations) != 1 {
+		t.Fatalf("HoldViolations = %v, want exactly one", r.HoldViolations)
+	}
+}
+
+func TestAnalyzeRejectsCombLoop(t *testing.T) {
+	c := netlist.New("loop")
+	a := c.MustAdd("a", netlist.KindInput)
+	g1 := c.MustAdd("g1", netlist.KindAnd, a.ID, a.ID)
+	g2 := c.MustAdd("g2", netlist.KindNot, g1.ID)
+	g1.Fanins[1] = g2.ID
+	if _, err := Analyze(c, celllib.Default()); err == nil {
+		t.Fatal("Analyze should reject combinational loops")
+	}
+}
+
+func TestPrimaryOutputEndpoint(t *testing.T) {
+	lib := fig1Lib(t)
+	c := netlist.New("po")
+	a := c.MustAdd("a", netlist.KindInput)
+	g := c.MustAdd("g", netlist.KindBuf, a.ID)
+	g.Cell = "W7"
+	c.MustAdd("z", netlist.KindOutput, g.ID)
+	r, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.MinPeriod-7) > 1e-9 {
+		t.Fatalf("MinPeriod = %g, want 7 (PI->PO path, no FF overhead)", r.MinPeriod)
+	}
+}
+
+func TestMeetsPeriod(t *testing.T) {
+	r := &Result{MinPeriod: 21}
+	if !r.MeetsPeriod(21) || !r.MeetsPeriod(25) || r.MeetsPeriod(20.9) {
+		t.Fatal("MeetsPeriod boundary behaviour wrong")
+	}
+}
+
+func TestMinPeriodHelper(t *testing.T) {
+	c := fig1a(t)
+	p, err := MinPeriod(c, fig1Lib(t))
+	if err != nil || math.Abs(p-21) > 1e-9 {
+		t.Fatalf("MinPeriod = %g, %v", p, err)
+	}
+}
+
+// Property: for random linear pipelines, MinPeriod equals tcq + sum of
+// stage gate delays + tsu of the worst stage.
+func TestPropertyPipelinePeriod(t *testing.T) {
+	lib := fig1Lib(t)
+	f := func(stages []uint8) bool {
+		if len(stages) == 0 || len(stages) > 8 {
+			return true
+		}
+		c := netlist.New("pipe")
+		in := c.MustAdd("in", netlist.KindInput)
+		// Input register so every stage launches from a flip-flop.
+		prev := c.MustAdd("fin", netlist.KindDFF, in.ID).ID
+		worst := 0.0
+		for si, raw := range stages {
+			nGates := int(raw)%4 + 1
+			stageDelay := 0.0
+			for g := 0; g < nGates; g++ {
+				d := (int(raw)+g)%6 + 1
+				n := c.MustAdd(nodeName("g", si*10+g), netlist.KindBuf, prev)
+				n.Cell = "W" + string(rune('0'+d))
+				prev = n.ID
+				stageDelay += float64(d)
+			}
+			ff := c.MustAdd(nodeName("f", si), netlist.KindDFF, prev)
+			prev = ff.ID
+			if stageDelay > worst {
+				worst = stageDelay
+			}
+		}
+		c.MustAdd("z", netlist.KindOutput, prev)
+		p, err := MinPeriod(c, lib)
+		if err != nil {
+			return false
+		}
+		return math.Abs(p-(worst+3+1)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MaxArrival >= MinArrival everywhere, and Down >= 0.
+func TestPropertyArrivalOrdering(t *testing.T) {
+	lib := celllib.Default()
+	f := func(seed []uint8) bool {
+		if len(seed) > 60 {
+			seed = seed[:60]
+		}
+		c := netlist.New("rand")
+		ids := []netlist.NodeID{
+			c.MustAdd("i0", netlist.KindInput).ID,
+			c.MustAdd("i1", netlist.KindInput).ID,
+		}
+		kinds := []netlist.Kind{netlist.KindBuf, netlist.KindNot, netlist.KindAnd,
+			netlist.KindNand, netlist.KindOr, netlist.KindXor, netlist.KindDFF}
+		for i, b := range seed {
+			k := kinds[int(b)%len(kinds)]
+			f1 := ids[int(b/8)%len(ids)]
+			var n *netlist.Node
+			if k.MaxFanins() == 1 {
+				n = c.MustAdd(nodeName("n", i), k, f1)
+			} else {
+				n = c.MustAdd(nodeName("n", i), k, f1, ids[(int(b)+i)%len(ids)])
+			}
+			n.Drive = int(b) % 3
+			ids = append(ids, n.ID)
+		}
+		c.MustAdd("z", netlist.KindOutput, ids[len(ids)-1])
+		r, err := Analyze(c, lib)
+		if err != nil {
+			return false
+		}
+		ok := true
+		c.Live(func(n *netlist.Node) {
+			if r.MaxArrival[n.ID] < r.MinArrival[n.ID]-1e-9 {
+				ok = false
+			}
+			if r.Down[n.ID] < 0 {
+				ok = false
+			}
+		})
+		return ok && r.MinPeriod >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func nodeName(prefix string, i int) string {
+	const digits = "0123456789"
+	if i < 10 {
+		return prefix + digits[i:i+1]
+	}
+	return nodeName(prefix, i/10) + digits[i%10:i%10+1]
+}
