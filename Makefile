@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+# The full pre-commit gate: formatting, vet, build, the whole test
+# suite, and the race detector over the parallel Monte Carlo engine.
+check: fmt vet build test race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/variation/...
+
+# Regenerate every paper table/figure (writes results/).
+bench:
+	$(GO) test -bench=. -benchmem

@@ -13,6 +13,8 @@
 package virtualsync_test
 
 import (
+	"context"
+	"fmt"
 	"os"
 	"strings"
 	"sync"
@@ -26,6 +28,7 @@ import (
 	"virtualsync/internal/lp"
 	"virtualsync/internal/sim"
 	"virtualsync/internal/sta"
+	"virtualsync/internal/variation"
 )
 
 var (
@@ -41,7 +44,7 @@ func suite(b *testing.B) []*expt.CircuitResult {
 	suiteOnce.Do(func() {
 		cfg := expt.DefaultConfig()
 		cfg.Progress = os.Stderr
-		suiteRows, suiteErr = expt.RunSuite(nil, cfg)
+		suiteRows, suiteErr = expt.RunSuite(context.Background(), nil, cfg)
 		if suiteErr == nil {
 			_ = os.MkdirAll("results", 0o755)
 			_ = os.WriteFile("results/table1.txt", []byte(expt.FormatTable1(suiteRows)), 0o644)
@@ -200,7 +203,7 @@ func ablate(b *testing.B, name string, mod func(*core.Options)) {
 		b.Fatalf("unknown circuit %s", name)
 	}
 	for i := 0; i < b.N; i++ {
-		row, err := expt.RunCircuit(spec, cfg)
+		row, err := expt.RunCircuit(context.Background(), spec, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -290,5 +293,40 @@ func BenchmarkSimulator(b *testing.B) {
 		if _, err := s.Run(stim); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMonteCarloScaling measures the parallel Monte Carlo yield
+// engine at 1/2/4/8 workers on a fixed STA case (no optimizer in the
+// loop), reporting samples/s. Yields are identical at every width; only
+// the wall clock changes.
+func BenchmarkMonteCarloScaling(b *testing.B) {
+	c := virtualsync.GenerateBenchmark("s13207")
+	lib := celllib.Default()
+	cs, err := variation.NewSTACase(c, lib, variation.DefaultModel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	T, err := sta.MinPeriod(c, lib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const samples = 256
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := variation.Config{
+					Samples: samples, Workers: workers, Seed: 11,
+					Periods: []float64{T * 0.98, T, T * 1.05},
+					Model:   variation.DefaultModel(),
+				}
+				res, err := variation.Run(context.Background(), cfg, cs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Yield(1), "yield-at-T")
+			}
+			b.ReportMetric(float64(samples*b.N)/b.Elapsed().Seconds(), "samples/s")
+		})
 	}
 }

@@ -7,6 +7,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -14,15 +16,26 @@ import (
 
 	"virtualsync/internal/core"
 	"virtualsync/internal/expt"
+	"virtualsync/internal/variation"
 )
 
 func main() {
-	exp := flag.String("exp", "table1", "experiment: table1, fig1, fig2, fig3, fig6, fig7, fig8, all")
+	exp := flag.String("exp", "table1", "experiment: table1, fig1, fig2, fig3, fig6, fig7, fig8, yield, all")
 	circuits := flag.String("circuits", "", "comma-separated benchmark subset (default: all)")
 	verify := flag.Int("verify", 48, "equivalence-simulation cycles per circuit (0 to skip)")
 	step := flag.Float64("step", 0.005, "period-search step fraction")
 	csvPath := flag.String("csv", "", "also write suite results as CSV to this file")
+	samples := flag.Int("samples", 400, "Monte Carlo samples per circuit (yield experiment)")
+	seed := flag.Uint64("seed", 1, "Monte Carlo seed (yield experiment)")
+	timeout := flag.Duration("timeout", 0, "abort the whole experiment after this long (0 = no limit)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	cfg := expt.DefaultConfig()
 	cfg.VerifyCycles = *verify
@@ -38,7 +51,7 @@ func main() {
 	var rows []*expt.CircuitResult
 	if needSuite[*exp] {
 		var err error
-		rows, err = expt.RunSuite(names, cfg)
+		rows, err = expt.RunSuite(ctx, names, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -79,6 +92,16 @@ func main() {
 	case "fig2":
 		u := core.UnitTiming{T: 10, Phi: 0, Duty: 0.5, Tcq: 3, Tdq: 1, Tsu: 1, Th: 1, Delay: 2}
 		fmt.Print(expt.FormatFig2(expt.RunFig2(u, 21)))
+	case "yield":
+		mc := variation.Config{Samples: *samples, Seed: *seed, Model: variation.DefaultModel()}
+		ys, err := expt.RunYield(ctx, names, cfg, mc)
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				fatal(fmt.Errorf("yield experiment exceeded -timeout %v", *timeout))
+			}
+			fatal(err)
+		}
+		fmt.Print(expt.FormatYield(ys))
 	case "all":
 		fmt.Print(expt.FormatTable1(rows))
 		fmt.Println()

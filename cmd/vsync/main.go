@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -26,7 +28,15 @@ func main() {
 	noReplace := flag.Bool("no-replace", false, "disable buffer replacement (paper 5.4)")
 	verify := flag.Int("verify", 48, "equivalence-simulation cycles (0 to skip)")
 	skipBaseline := flag.Bool("skip-baseline", false, "assume the input is already retimed and sized")
+	timeout := flag.Duration("timeout", 0, "abort the period search after this long (0 = no limit)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	lib, err := loadLib(*libPath)
 	if err != nil {
@@ -52,7 +62,10 @@ func main() {
 	opts.UseLatches = !*noLatches
 	opts.BufferReplace = !*noReplace
 
-	res, err := virtualsync.OptimizeStep(base, lib, opts, *step)
+	res, err := virtualsync.OptimizeCtx(ctx, base, lib, opts, *step)
+	if errors.Is(err, context.DeadlineExceeded) {
+		fatal(fmt.Errorf("period search exceeded -timeout %v", *timeout))
+	}
 	if err != nil {
 		fatal(err)
 	}

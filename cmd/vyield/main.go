@@ -1,0 +1,212 @@
+// Command vyield measures timing yield under process variation: it runs
+// the VirtualSync flow on a circuit, then Monte Carlo samples per-cell
+// Gaussian delays and reports the fraction of samples in which (a) the
+// FF-synchronized baseline and (b) the VirtualSync-optimized circuit
+// still meet timing, across a sweep of clock periods.
+//
+// The report on stdout is deterministic: the same -seed produces
+// byte-identical output for any -workers value and any GOMAXPROCS.
+// Timing information goes to stderr.
+//
+// Usage:
+//
+//	vyield [-lib file] [-bench name] [-samples n] [-seed s] [-workers w]
+//	       [-timeout d] [-gsigma g] [-lscale l] [-dsigma d] [-minfactor f]
+//	       [-periods a,b,c] [-tune] [-margins m1,m2] [-target y]
+//	       [circuit.bench]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"virtualsync"
+	"virtualsync/internal/expt"
+)
+
+func main() {
+	libPath := flag.String("lib", "", "cell library file (default: built-in vs45)")
+	benchName := flag.String("bench", "", "generate a built-in benchmark instead of reading a file")
+	step := flag.Float64("step", 0.005, "period-search step fraction")
+	frac := flag.Float64("frac", 0.95, "critical-path selection fraction")
+	skipBaseline := flag.Bool("skip-baseline", false, "assume the input is already retimed and sized")
+
+	samples := flag.Int("samples", 1000, "Monte Carlo samples")
+	seed := flag.Uint64("seed", 1, "Monte Carlo seed (same seed => byte-identical report)")
+	workers := flag.Int("workers", 0, "evaluation goroutines (0 = GOMAXPROCS; never changes results)")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
+	periodsFlag := flag.String("periods", "", "comma-separated candidate periods (default: auto sweep)")
+
+	gsigma := flag.Float64("gsigma", 0.02, "global (inter-die) relative sigma")
+	lscale := flag.Float64("lscale", 1, "scale on per-cell local sigmas (0 disables local variation)")
+	dsigma := flag.Float64("dsigma", 0.05, "fallback sigma for cells without one")
+	minFactor := flag.Float64("minfactor", 0.05, "lower clamp on sampled delay factors")
+
+	tune := flag.Bool("tune", false, "sweep guard-band margins instead of fixed 1.1/0.9")
+	marginsFlag := flag.String("margins", "0.02,0.05,0.1,0.15,0.2", "guard-band margins for -tune")
+	target := flag.Float64("target", 0.95, "target yield for -tune")
+	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var periods []float64
+	if *periodsFlag != "" {
+		var err error
+		if periods, err = parseFloats(*periodsFlag); err != nil {
+			fatal(err)
+		}
+	}
+
+	lib, err := loadLib(*libPath)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := loadCircuit(*benchName, flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	base := c
+	if !*skipBaseline {
+		b, err := virtualsync.RetimeAndSize(c, lib)
+		if err != nil {
+			fatal(err)
+		}
+		base = b.Circuit
+		fmt.Fprintf(os.Stderr, "retiming&sizing baseline: T = %.2f\n", b.Period)
+	}
+
+	mc := virtualsync.MonteCarloConfig{
+		Samples: *samples,
+		Workers: *workers,
+		Seed:    *seed,
+		Periods: periods,
+		Model: virtualsync.VariationModel{
+			GlobalSigma:  *gsigma,
+			LocalScale:   *lscale,
+			DefaultSigma: *dsigma,
+			MinFactor:    *minFactor,
+		},
+	}
+
+	opts := virtualsync.DefaultOptions()
+	opts.SelectFrac = *frac
+
+	if *tune {
+		runTune(ctx, base, lib, opts, *step, *marginsFlag, *target, mc)
+		return
+	}
+
+	t0 := time.Now()
+	res, err := virtualsync.OptimizeCtx(ctx, base, lib, opts, *step)
+	if err != nil {
+		fatal(timeoutErr(err, *timeout))
+	}
+	fmt.Fprintf(os.Stderr, "virtualsync: T %.2f -> %.2f in %v\n",
+		res.BaselinePeriod, res.Period, time.Since(t0).Round(time.Millisecond))
+
+	t0 = time.Now()
+	cmp, err := virtualsync.Yield(ctx, base, res, lib, mc)
+	if err != nil {
+		fatal(timeoutErr(err, *timeout))
+	}
+	fmt.Fprintf(os.Stderr, "monte carlo: 2x %d samples on %d workers in %v\n",
+		cmp.Opt.Samples, cmp.Opt.Workers, time.Since(t0).Round(time.Millisecond))
+
+	fmt.Print(expt.FormatYield([]*expt.YieldResult{{Name: base.Name, Cmp: cmp}}))
+}
+
+// runTune sweeps guard-band margins and prints the measured
+// period/yield trade-off plus the winning margin.
+func runTune(ctx context.Context, base *virtualsync.Circuit, lib *virtualsync.Library,
+	opts virtualsync.Options, step float64, marginsFlag string, target float64,
+	mc virtualsync.MonteCarloConfig) {
+	margins, err := parseFloats(marginsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	best, points, err := virtualsync.TuneGuardBands(ctx, base, lib, opts, step, margins, target, mc)
+	tuneFailed := err != nil
+	if tuneFailed && len(points) == 0 {
+		fatal(err)
+	}
+	fmt.Printf("Guard-band sweep (%s, %d samples, seed %d, target yield %.3f)\n",
+		base.Name, mc.Samples, mc.Seed, target)
+	fmt.Printf("  %8s  %10s  %8s\n", "margin", "period", "yield")
+	for _, p := range points {
+		if p.Res == nil {
+			fmt.Printf("  %8.3f  %10s  %8s\n", p.Margin, "infeasible", "-")
+			continue
+		}
+		fmt.Printf("  %8.3f  %10.3f  %8.3f\n", p.Margin, p.Res.Period, p.Yield)
+	}
+	if tuneFailed {
+		fmt.Printf("no margin reaches yield %.3f\n", target)
+		os.Exit(1)
+	}
+	fmt.Printf("selected margin %.3f: Ru=%.3f Rl=%.3f, period %.3f, yield %.3f\n",
+		best.Margin, 1+best.Margin, 1-best.Margin, best.Res.Period, best.Yield)
+}
+
+func timeoutErr(err error, timeout time.Duration) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("run exceeded -timeout %v", timeout)
+	}
+	return err
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q: %v", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func loadLib(path string) (*virtualsync.Library, error) {
+	if path == "" {
+		return virtualsync.DefaultLibrary(), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return virtualsync.LoadLibrary(f)
+}
+
+func loadCircuit(benchName, path string) (*virtualsync.Circuit, error) {
+	if benchName != "" {
+		return virtualsync.GenerateBenchmark(benchName), nil
+	}
+	if path == "" {
+		return nil, fmt.Errorf("need a circuit file or -bench name (one of %v)", virtualsync.BenchmarkNames())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return virtualsync.LoadCircuit(f, path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vyield:", err)
+	os.Exit(1)
+}

@@ -30,6 +30,11 @@ type Cell struct {
 	Name    string
 	Kind    netlist.Kind
 	Options []Option
+
+	// Sigma is the relative standard deviation of the cell's delay under
+	// process variation (0 = no characterized variation), shared by all
+	// drive options. Used by internal/variation's Monte Carlo models.
+	Sigma float64
 }
 
 // MinDelay returns the smallest (fastest) delay among the options.
@@ -45,6 +50,20 @@ type SeqTiming struct {
 	Tsu  float64 // setup time
 	Th   float64 // hold time
 	Area float64
+
+	// Sigma is the relative standard deviation of the cell's delays
+	// (tcq/tdq/tsu/th scale together) under process variation.
+	Sigma float64
+}
+
+// Scaled returns the timing with every delay-like parameter multiplied
+// by f (areas and sigma unchanged). Used by variation sampling.
+func (t SeqTiming) Scaled(f float64) SeqTiming {
+	t.Tcq *= f
+	t.Tdq *= f
+	t.Tsu *= f
+	t.Th *= f
+	return t
 }
 
 // Library is a set of cells plus sequential-cell timing.
@@ -299,8 +318,16 @@ func Default() *Library {
 			panic(err)
 		}
 	}
-	l.FF = SeqTiming{Tcq: 30, Tsu: 12, Th: 4, Area: 6.0}
-	l.Latch = SeqTiming{Tcq: 16, Tdq: 14, Tsu: 10, Th: 4, Area: 4.5}
+	// Per-cell variation sigmas (relative): logic cells at 4 %, the padding
+	// buffer slightly wider (long chains average it out), sequential cells
+	// tighter — in line with the paper's +-10 % guard band covering roughly
+	// +-2.5 sigma of local variation.
+	for _, name := range l.CellNames() {
+		l.cells[name].Sigma = 0.04
+	}
+	l.cells[netlist.KindBuf.String()].Sigma = 0.05
+	l.FF = SeqTiming{Tcq: 30, Tsu: 12, Th: 4, Area: 6.0, Sigma: 0.03}
+	l.Latch = SeqTiming{Tcq: 16, Tdq: 14, Tsu: 10, Th: 4, Area: 4.5, Sigma: 0.03}
 	if err := l.Validate(); err != nil {
 		panic(err)
 	}
@@ -338,15 +365,28 @@ func (l *Library) Scale(f float64) *Library {
 		for i, o := range c.Options {
 			opts[i] = Option{Delay: o.Delay * f, Area: o.Area}
 		}
-		out.cells[name] = &Cell{Name: name, Kind: c.Kind, Options: opts}
+		out.cells[name] = &Cell{Name: name, Kind: c.Kind, Options: opts, Sigma: c.Sigma}
 	}
-	s := func(t SeqTiming) SeqTiming {
-		t.Tcq *= f
-		t.Tdq *= f
-		t.Tsu *= f
-		t.Th *= f
-		return t
-	}
-	out.FF, out.Latch = s(l.FF), s(l.Latch)
+	out.FF, out.Latch = l.FF.Scaled(f), l.Latch.Scaled(f)
 	return out
+}
+
+// SigmaFor returns the relative delay standard deviation of the cell
+// implementing node n: the bound cell's Sigma for combinational nodes,
+// FF/Latch Sigma for sequential ones, and 0 for ports, constants and
+// unknown bindings.
+func (l *Library) SigmaFor(n *netlist.Node) float64 {
+	switch {
+	case n.Kind == netlist.KindDFF:
+		return l.FF.Sigma
+	case n.Kind == netlist.KindLatch:
+		return l.Latch.Sigma
+	case !n.Kind.IsCombinational():
+		return 0
+	}
+	c, err := l.cellFor(n)
+	if err != nil {
+		return 0
+	}
+	return c.Sigma
 }

@@ -198,11 +198,57 @@ func TestLibraryFormatRoundTrip(t *testing.T) {
 		if c2 == nil || c1.Kind != c2.Kind || len(c1.Options) != len(c2.Options) {
 			t.Fatalf("cell %q changed", name)
 		}
+		if c1.Sigma != c2.Sigma {
+			t.Fatalf("cell %q sigma changed: %g vs %g", name, c1.Sigma, c2.Sigma)
+		}
 		for i := range c1.Options {
 			if c1.Options[i] != c2.Options[i] {
 				t.Fatalf("cell %q option %d changed", name, i)
 			}
 		}
+	}
+}
+
+func TestSigmaFields(t *testing.T) {
+	l := Default()
+	if s := l.SigmaFor(node(netlist.KindBuf, 0)); s != 0.05 {
+		t.Errorf("BUF sigma = %g, want 0.05", s)
+	}
+	if s := l.SigmaFor(node(netlist.KindNand, 1)); s != 0.04 {
+		t.Errorf("NAND sigma = %g, want 0.04", s)
+	}
+	if s := l.SigmaFor(node(netlist.KindDFF, 0)); s != l.FF.Sigma {
+		t.Errorf("DFF sigma = %g, want %g", s, l.FF.Sigma)
+	}
+	if s := l.SigmaFor(node(netlist.KindInput, 0)); s != 0 {
+		t.Errorf("port sigma = %g, want 0", s)
+	}
+	// Scaling preserves relative sigmas.
+	s2 := l.Scale(2)
+	if s2.SigmaFor(node(netlist.KindBuf, 0)) != 0.05 || s2.FF.Sigma != l.FF.Sigma {
+		t.Error("Scale dropped sigma fields")
+	}
+	// A sigma-free library parses (back-compat) and reports zero.
+	src := "library x\nff tcq=1 tsu=1 th=0\nlatch tcq=1 tdq=1 tsu=1 th=0\n"
+	for _, k := range []netlist.Kind{
+		netlist.KindBuf, netlist.KindNot, netlist.KindAnd, netlist.KindNand,
+		netlist.KindOr, netlist.KindNor, netlist.KindXor, netlist.KindXnor,
+	} {
+		src += "cell " + k.String() + " kind=" + k.String() + " delay=1 area=1\n"
+	}
+	plain, err := ParseLibraryString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.SigmaFor(node(netlist.KindBuf, 0)) != 0 || plain.FF.Sigma != 0 {
+		t.Error("sigma-free library reports non-zero sigma")
+	}
+	if _, err := ParseLibraryString("library x\ncell BUF kind=BUF delay=1 area=1 sigma=-1\n"); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	sc := SeqTiming{Tcq: 10, Tdq: 4, Tsu: 2, Th: 1, Area: 3, Sigma: 0.1}.Scaled(2)
+	if sc.Tcq != 20 || sc.Tdq != 8 || sc.Tsu != 4 || sc.Th != 2 || sc.Area != 3 || sc.Sigma != 0.1 {
+		t.Errorf("SeqTiming.Scaled wrong: %+v", sc)
 	}
 }
 

@@ -64,12 +64,19 @@ func ParseLibrary(r io.Reader) (*Library, error) {
 			name := fields[1]
 			kind := netlist.KindInvalid
 			var delays, areas []float64
+			sigma := 0.0
 			for _, f := range fields[2:] {
 				kv := strings.SplitN(f, "=", 2)
 				if len(kv) != 2 {
 					return nil, fmt.Errorf("line %d: malformed attribute %q", lineNo, f)
 				}
 				switch kv[0] {
+				case "sigma":
+					v, err := strconv.ParseFloat(kv[1], 64)
+					if err != nil || v < 0 {
+						return nil, fmt.Errorf("line %d: bad sigma %q", lineNo, kv[1])
+					}
+					sigma = v
 				case "kind":
 					k, ok := netlist.KindFromString(kv[1])
 					if !ok {
@@ -106,9 +113,11 @@ func ParseLibrary(r io.Reader) (*Library, error) {
 			for i := range delays {
 				opts[i] = Option{Delay: delays[i], Area: areas[i]}
 			}
-			if _, err := l.AddCell(name, kind, opts); err != nil {
+			c, err := l.AddCell(name, kind, opts)
+			if err != nil {
 				return nil, fmt.Errorf("line %d: %v", lineNo, err)
 			}
+			c.Sigma = sigma
 		default:
 			return nil, fmt.Errorf("line %d: unknown directive %q", lineNo, fields[0])
 		}
@@ -152,6 +161,8 @@ func parseSeqTiming(fields []string) (SeqTiming, error) {
 			t.Th = v
 		case "area":
 			t.Area = v
+		case "sigma":
+			t.Sigma = v
 		default:
 			return t, fmt.Errorf("unknown attribute %q", kv[0])
 		}
@@ -175,10 +186,17 @@ func parseFloats(s string) ([]float64, error) {
 // WriteLibrary emits the library in the format accepted by ParseLibrary.
 func WriteLibrary(w io.Writer, l *Library) error {
 	bw := bufio.NewWriter(w)
+	sigmaAttr := func(s float64) string {
+		if s == 0 {
+			return ""
+		}
+		return " sigma=" + strconv.FormatFloat(s, 'g', -1, 64)
+	}
 	fmt.Fprintf(bw, "library %s\n", l.Name)
-	fmt.Fprintf(bw, "ff tcq=%g tsu=%g th=%g area=%g\n", l.FF.Tcq, l.FF.Tsu, l.FF.Th, l.FF.Area)
-	fmt.Fprintf(bw, "latch tcq=%g tdq=%g tsu=%g th=%g area=%g\n",
-		l.Latch.Tcq, l.Latch.Tdq, l.Latch.Tsu, l.Latch.Th, l.Latch.Area)
+	fmt.Fprintf(bw, "ff tcq=%g tsu=%g th=%g area=%g%s\n",
+		l.FF.Tcq, l.FF.Tsu, l.FF.Th, l.FF.Area, sigmaAttr(l.FF.Sigma))
+	fmt.Fprintf(bw, "latch tcq=%g tdq=%g tsu=%g th=%g area=%g%s\n",
+		l.Latch.Tcq, l.Latch.Tdq, l.Latch.Tsu, l.Latch.Th, l.Latch.Area, sigmaAttr(l.Latch.Sigma))
 	names := make([]string, 0, len(l.cells))
 	for n := range l.cells {
 		names = append(names, n)
@@ -192,8 +210,8 @@ func WriteLibrary(w io.Writer, l *Library) error {
 			ds[i] = strconv.FormatFloat(o.Delay, 'g', -1, 64)
 			as[i] = strconv.FormatFloat(o.Area, 'g', -1, 64)
 		}
-		fmt.Fprintf(bw, "cell %s kind=%s delay=%s area=%s\n",
-			c.Name, c.Kind, strings.Join(ds, ","), strings.Join(as, ","))
+		fmt.Fprintf(bw, "cell %s kind=%s delay=%s area=%s%s\n",
+			c.Name, c.Kind, strings.Join(ds, ","), strings.Join(as, ","), sigmaAttr(c.Sigma))
 	}
 	return bw.Flush()
 }

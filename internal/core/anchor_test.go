@@ -100,7 +100,7 @@ func TestFig3AnchorArithmetic(t *testing.T) {
 	// The wave into F3 carries data launched two cycles earlier (one
 	// anchor at F1, one at F2): verify via the validator's propagation
 	// that the sink arrival obeys (1)-(2) after two -T shifts.
-	st, vs := res.Plan.propagate()
+	st, vs := res.Plan.propagate(res.Plan.env(ValidateParams{}))
 	if st == nil || len(vs) > 0 {
 		t.Fatalf("propagate failed: %v", vs)
 	}

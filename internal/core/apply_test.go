@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -15,7 +17,7 @@ func realizedPlan(t *testing.T) *Plan {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := optimizeRegion(r, 10, DefaultOptions(), nil)
+	p, err := optimizeRegion(context.Background(), r, 10, DefaultOptions(), nil)
 	if err != nil || p == nil {
 		t.Fatalf("optimizeRegion: %v %v", p, err)
 	}

@@ -323,7 +323,7 @@ func (p *Plan) repairChains(vs []Violation) []Violation {
 // wave spread: the latest in-edge if its chain overshoots the requested
 // delay (shrink it), otherwise the earliest in-edge (grow it).
 func (p *Plan) spreadRepairEdge(gi int) (edge int, lateSide bool) {
-	st, vs := p.propagate()
+	st, vs := p.propagate(p.env(ValidateParams{}))
 	if st == nil || len(vs) > 0 {
 		return -1, false
 	}
@@ -449,7 +449,7 @@ func (p *Plan) tryUnitAt(ei int, kind UnitKind, phaseFrac float64, lpBudget *int
 
 	// Choose N from the current early arrival at the edge (without its
 	// chain): the window index the fast signal would fall into.
-	st, vsp := p.propagate()
+	st, vsp := p.propagate(p.env(ValidateParams{}))
 	if st == nil || len(vsp) > 0 {
 		return false
 	}

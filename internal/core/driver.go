@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -69,6 +70,12 @@ func (res *Result) AreaDeltaPct() float64 {
 // critical part. It returns (nil, nil) when T is infeasible under the
 // VirtualSync model.
 func OptimizeAtPeriod(c *netlist.Circuit, lib *celllib.Library, T float64, opts Options) (*Result, error) {
+	return OptimizeAtPeriodCtx(context.Background(), c, lib, T, opts)
+}
+
+// OptimizeAtPeriodCtx is OptimizeAtPeriod under a context: cancellation
+// or deadline expiry aborts the attempt with ctx.Err().
+func OptimizeAtPeriodCtx(ctx context.Context, c *netlist.Circuit, lib *celllib.Library, T float64, opts Options) (*Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -76,17 +83,17 @@ func OptimizeAtPeriod(c *netlist.Circuit, lib *celllib.Library, T float64, opts 
 	if err != nil {
 		return nil, err
 	}
-	return optimizeExtracted(r, c, lib, T, opts, nil, opts.BufferReplace)
+	return optimizeExtracted(ctx, r, c, lib, T, opts, nil, opts.BufferReplace)
 }
 
-func optimizeExtracted(r *Region, c *netlist.Circuit, lib *celllib.Library, T float64, opts Options, prev *Plan, doReplace bool) (*Result, error) {
+func optimizeExtracted(ctx context.Context, r *Region, c *netlist.Circuit, lib *celllib.Library, T float64, opts Options, prev *Plan, doReplace bool) (*Result, error) {
 	start := time.Now()
 	// Logic outside the region is untouched and must still meet T under
 	// the same guard band.
 	if T < r.ExternalPeriod*opts.Ru-1e-9 {
 		return nil, nil
 	}
-	plan, err := optimizeRegion(r, T, opts, prev)
+	plan, err := optimizeRegion(ctx, r, T, opts, prev)
 	if err != nil {
 		return nil, err
 	}
@@ -148,6 +155,13 @@ func optimizeExtracted(r *Region, c *netlist.Circuit, lib *celllib.Library, T fl
 // steps of stepFrac (paper: 0.5%) until the VirtualSync model becomes
 // infeasible, and the last feasible solution is returned.
 func Optimize(c *netlist.Circuit, lib *celllib.Library, opts Options, stepFrac float64) (*Result, error) {
+	return OptimizeCtx(context.Background(), c, lib, opts, stepFrac)
+}
+
+// OptimizeCtx is Optimize under a context: the period search checks for
+// cancellation before every probed period and inside the legalization
+// rounds, returning ctx.Err() when the context ends.
+func OptimizeCtx(ctx context.Context, c *netlist.Circuit, lib *celllib.Library, opts Options, stepFrac float64) (*Result, error) {
 	if stepFrac <= 0 {
 		stepFrac = 0.005
 	}
@@ -173,10 +187,13 @@ func Optimize(c *netlist.Circuit, lib *celllib.Library, opts Options, stepFrac f
 		if T <= 0 {
 			return nil, nil
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t0 := time.Now()
 		// Buffer replacement is pure area recovery; it runs once on the
 		// final result, not at every probed period.
-		res, err := optimizeExtracted(r, c, lib, T, opts, prev, false)
+		res, err := optimizeExtracted(ctx, r, c, lib, T, opts, prev, false)
 		if err == nil && res != nil {
 			// Retarget this plan's unit placements at the next period
 			// instead of re-running the full relaxation pipeline.
@@ -227,7 +244,7 @@ func Optimize(c *netlist.Circuit, lib *celllib.Library, opts Options, stepFrac f
 	}
 	if opts.BufferReplace {
 		// Re-run the winning period once with the area-recovery pass.
-		res, err := optimizeExtracted(r, c, lib, best.Period, opts, prev, true)
+		res, err := optimizeExtracted(ctx, r, c, lib, best.Period, opts, prev, true)
 		if err != nil {
 			return nil, err
 		}

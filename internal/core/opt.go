@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -81,7 +82,7 @@ func gapTol(T float64) float64 { return 1e-6*T + 1e-9 }
 // prev, when non-nil, is a feasible plan from a nearby period: its unit
 // placements are retargeted directly (window indices free to move by one)
 // and the full pipeline runs only if that fails.
-func optimizeRegion(r *Region, T float64, opts Options, prev *Plan) (*Plan, error) {
+func optimizeRegion(ctx context.Context, r *Region, T float64, opts Options, prev *Plan) (*Plan, error) {
 	if prev != nil {
 		if p, err := retargetPlan(r, T, opts, prev); err != nil {
 			return nil, err
@@ -90,7 +91,7 @@ func optimizeRegion(r *Region, T float64, opts Options, prev *Plan) (*Plan, erro
 		}
 		// Fall through to the full pipeline.
 	}
-	return optimizeRegionFull(r, T, opts)
+	return optimizeRegionFull(ctx, r, T, opts)
 }
 
 // retargetPlan re-solves the timing LP with the previous plan's delay
@@ -143,7 +144,7 @@ func retargetPlan(r *Region, T float64, opts Options, prev *Plan) (*Plan, error)
 // period search simply stops a step earlier).
 const regionBudget = 100 * time.Second
 
-func optimizeRegionFull(r *Region, T float64, opts Options) (*Plan, error) {
+func optimizeRegionFull(ctx context.Context, r *Region, T float64, opts Options) (*Plan, error) {
 	deadline := time.Now().Add(regionBudget)
 	nE := len(r.Edges)
 	tol := gapTol(T)
@@ -256,6 +257,9 @@ func optimizeRegionFull(r *Region, T float64, opts Options) (*Plan, error) {
 		maxRounds = 40
 	}
 	for round := 0; round < maxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if time.Now().After(deadline) {
 			return nil, nil // budget exhausted: treat T as infeasible
 		}

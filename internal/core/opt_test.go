@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"virtualsync/internal/netlist"
 )
@@ -71,6 +74,23 @@ func TestOptimizeWavePipeSearch(t *testing.T) {
 	}
 	if vs := res.Plan.Validate(); len(vs) > 0 {
 		t.Fatalf("final plan invalid: %v", vs)
+	}
+}
+
+func TestOptimizeCtxCancelled(t *testing.T) {
+	c := wavePipe(t)
+	lib := paperLib(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := OptimizeCtx(ctx, c, lib, DefaultOptions(), 0.02); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled search returned %v, want context.Canceled", err)
+	}
+	// An ample deadline must not disturb the result.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel2()
+	res, err := OptimizeCtx(ctx2, c, lib, DefaultOptions(), 0.02)
+	if err != nil || res == nil {
+		t.Fatalf("search under ample deadline failed: %v %v", res, err)
 	}
 }
 

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"virtualsync/internal/celllib"
 )
 
 // Violation is one failed check from the wave-timing validator.
@@ -27,6 +29,76 @@ type waveState struct {
 	oLate, oEarly []float64 // per edge, after unit (as seen by consumer)
 }
 
+// ValidateParams overrides the quantities the wave-timing validator
+// checks a plan against. The zero value reproduces Validate exactly; a
+// Monte Carlo caller (internal/variation) supplies sampled delays with
+// unity guard bands to test one process-variation outcome, or a shifted
+// period to probe the realized circuit's operating window.
+type ValidateParams struct {
+	// T replaces the plan's clock period when > 0.
+	T float64
+	// GateDelay/ChainDelay, when non-nil, replace the plan's realized
+	// per-gate and per-edge delays (same indexing as the Plan fields).
+	GateDelay  []float64
+	ChainDelay []float64
+	// Ru/Rl replace the plan's guard bands when both are > 0. Use 1/1 to
+	// validate one concrete delay assignment without margins.
+	Ru, Rl float64
+	// FF/Latch, when non-nil, replace the library's sequential timing.
+	FF, Latch *celllib.SeqTiming
+	// TransparentLatches switches latch delay units from the optimizer's
+	// corner-interval model to concrete-sample physics: a signal arriving
+	// before the latch opens is blocked and launched at open + Tcq, one
+	// arriving while the latch is transparent passes through with Tdq.
+	// The interval model instead pins the early output at the open edge
+	// and requires even the fast corner (Rl-scaled) to arrive before it —
+	// a constraint on the delay *interval*, meaningless for one concrete
+	// delay assignment. Monte Carlo sampling sets this together with
+	// unity guard bands.
+	TransparentLatches bool
+}
+
+// valEnv is a resolved ValidateParams: the effective quantities one
+// validation pass runs with.
+type valEnv struct {
+	T, ru, rl   float64
+	gd, cd      []float64
+	ff, lt      celllib.SeqTiming
+	tstable     float64
+	duty        float64
+	transparent bool
+}
+
+func (p *Plan) env(params ValidateParams) valEnv {
+	e := valEnv{
+		T: p.T, ru: p.Opts.Ru, rl: p.Opts.Rl,
+		gd: p.GateDelay, cd: p.ChainDelay,
+		ff: p.R.Lib.FF, lt: p.R.Lib.Latch,
+		duty: p.Opts.Duty,
+	}
+	if params.T > 0 {
+		e.T = params.T
+	}
+	if params.GateDelay != nil {
+		e.gd = params.GateDelay
+	}
+	if params.ChainDelay != nil {
+		e.cd = params.ChainDelay
+	}
+	if params.Ru > 0 && params.Rl > 0 {
+		e.ru, e.rl = params.Ru, params.Rl
+	}
+	if params.FF != nil {
+		e.ff = *params.FF
+	}
+	if params.Latch != nil {
+		e.lt = *params.Latch
+	}
+	e.transparent = params.TransparentLatches
+	e.tstable = p.Opts.TStableFrac * e.T
+	return e
+}
+
 // Validate checks a realized plan against the VirtualSync timing rules
 // using fixed delays (p.GateDelay, p.ChainDelay) and the model's ru/rl
 // guard bands: boundary setup/hold (paper eq. 1-2), delay-unit windows
@@ -34,21 +106,28 @@ type waveState struct {
 // is independent of the LP solver and is the final gate on every
 // optimizer output.
 func (p *Plan) Validate() []Violation {
-	st, vs := p.propagate()
+	return p.ValidateWith(ValidateParams{})
+}
+
+// ValidateWith is Validate with selected quantities overridden.
+func (p *Plan) ValidateWith(params ValidateParams) []Violation {
+	env := p.env(params)
+	st, vs := p.propagate(env)
 	if st == nil {
 		return vs
 	}
-	return append(vs, p.check(st)...)
+	return append(vs, p.check(st, env)...)
 }
 
 // propagate computes arrival times to fixpoint. Sequential delay units
 // with flip-flop behaviour emit constants, which breaks every legal cycle;
 // a cycle without one fails to converge and is reported.
-func (p *Plan) propagate() (*waveState, []Violation) {
+func (p *Plan) propagate(env valEnv) (*waveState, []Violation) {
 	r := p.R
 	nG, nE := len(r.Gates), len(r.Edges)
 	opts := p.Opts
-	T := p.T
+	opts.Ru, opts.Rl = env.ru, env.rl
+	T := env.T
 
 	st := &waveState{
 		late:   make([]float64, nG),
@@ -78,8 +157,8 @@ func (p *Plan) propagate() (*waveState, []Violation) {
 		for ei, e := range r.Edges {
 			upL, upE := fromTimes(e)
 			shift := -float64(e.Lambda) * T
-			wL := upL + shift + p.ChainDelay[ei]*opts.Ru
-			wE := upE + shift + p.ChainDelay[ei]*opts.Rl
+			wL := upL + shift + env.cd[ei]*opts.Ru
+			wE := upE + shift + env.cd[ei]*opts.Rl
 			var oL, oE float64
 			u := p.Unit[ei]
 			phi := u.PhaseFrac * T
@@ -88,12 +167,16 @@ func (p *Plan) propagate() (*waveState, []Violation) {
 			case UnitNone, UnitBuffer:
 				oL, oE = wL, wE
 			case UnitFF:
-				oL = (n+1)*T + phi + r.Lib.FF.Tcq*opts.Ru
-				oE = (n+1)*T + phi + r.Lib.FF.Tcq*opts.Rl
+				oL = (n+1)*T + phi + env.ff.Tcq*opts.Ru
+				oE = (n+1)*T + phi + env.ff.Tcq*opts.Rl
 			case UnitLatch:
 				open := n*T + phi + opts.Duty*T
-				oL = math.Max(open+r.Lib.Latch.Tcq*opts.Ru, wL+r.Lib.Latch.Tdq*opts.Ru)
-				oE = open + r.Lib.Latch.Tcq*opts.Rl
+				oL = math.Max(open+env.lt.Tcq*opts.Ru, wL+env.lt.Tdq*opts.Ru)
+				if env.transparent && wE > open {
+					oE = wE + env.lt.Tdq*opts.Rl
+				} else {
+					oE = open + env.lt.Tcq*opts.Rl
+				}
 			}
 			if wL != st.wLate[ei] || wE != st.wEarly[ei] || oL != st.oLate[ei] || oE != st.oEarly[ei] {
 				// -inf/+inf churn does not count as progress.
@@ -125,8 +208,8 @@ func (p *Plan) propagate() (*waveState, []Violation) {
 			if !found {
 				continue
 			}
-			nl := lateIn + p.GateDelay[gi]*opts.Ru
-			ne := earlyIn + p.GateDelay[gi]*opts.Rl
+			nl := lateIn + env.gd[gi]*opts.Ru
+			ne := earlyIn + env.gd[gi]*opts.Rl
 			if !sameOrBothInf(nl, st.late[gi]) || !sameOrBothInf(ne, st.early[gi]) {
 				changed = true
 			}
@@ -153,11 +236,12 @@ func sameOrBothInf(a, b float64) bool {
 }
 
 // check audits every constraint against the propagated arrivals.
-func (p *Plan) check(st *waveState) []Violation {
+func (p *Plan) check(st *waveState, env valEnv) []Violation {
 	r := p.R
 	opts := p.Opts
-	T := p.T
-	tstable := opts.TStableFrac * T
+	opts.Ru, opts.Rl = env.ru, env.rl
+	T := env.T
+	tstable := env.tstable
 	var vs []Violation
 	add := func(check string, edge, gate int, amount float64, format string, args ...interface{}) {
 		vs = append(vs, Violation{check, edge, gate, amount, fmt.Sprintf(format, args...)})
@@ -188,8 +272,8 @@ func (p *Plan) check(st *waveState) []Violation {
 		n := float64(u.N)
 		switch u.Kind {
 		case UnitFF:
-			lo := n*T + phi + r.Lib.FF.Th*opts.Ru
-			hi := (n+1)*T + phi - r.Lib.FF.Tsu*opts.Ru
+			lo := n*T + phi + env.ff.Th*opts.Ru
+			hi := (n+1)*T + phi - env.ff.Tsu*opts.Ru
 			if wE < lo-valTol {
 				add("ff-window-lo", ei, -1, lo-wE, "early arrival %g before window start %g", wE, lo)
 			}
@@ -197,8 +281,8 @@ func (p *Plan) check(st *waveState) []Violation {
 				add("ff-window-hi", ei, -1, wL-hi, "late arrival %g after window end %g", wL, hi)
 			}
 		case UnitLatch:
-			lo := n*T + phi + r.Lib.Latch.Th*opts.Ru
-			hi := (n+1)*T + phi - r.Lib.Latch.Tsu*opts.Ru
+			lo := n*T + phi + env.lt.Th*opts.Ru
+			hi := (n+1)*T + phi - env.lt.Tsu*opts.Ru
 			open := n*T + phi + opts.Duty*T
 			if wE < lo-valTol {
 				add("latch-window-lo", ei, -1, lo-wE, "early arrival %g before window start %g", wE, lo)
@@ -206,7 +290,7 @@ func (p *Plan) check(st *waveState) []Violation {
 			if wL > hi+valTol {
 				add("latch-window-hi", ei, -1, wL-hi, "late arrival %g after window end %g", wL, hi)
 			}
-			if wE > open+valTol {
+			if !env.transparent && wE > open+valTol {
 				add("latch-transparent-early", ei, -1, wE-open,
 					"fast signal arrives at %g after the latch opens at %g", wE, open)
 			}
@@ -216,7 +300,10 @@ func (p *Plan) check(st *waveState) []Violation {
 		}
 
 		if e.To.Kind == RefSink {
-			tsu, th := r.sinkTimings(e.To.Idx)
+			tsu, th := 0.0, 0.0
+			if r.Sinks[e.To.Idx].IsFF {
+				tsu, th = env.ff.Tsu, env.ff.Th
+			}
 			oL, oE := st.oLate[ei], st.oEarly[ei]
 			if oL+tsu*opts.Ru > T+valTol {
 				add("boundary-setup", ei, -1, oL+tsu*opts.Ru-T,
@@ -235,7 +322,7 @@ func (p *Plan) check(st *waveState) []Violation {
 // experiment reporting: converted late/early arrival per sink name. ok is
 // false when propagation fails.
 func SinkArrivals(p *Plan) (ok bool, late, early map[string]float64) {
-	st, vs := p.propagate()
+	st, vs := p.propagate(p.env(ValidateParams{}))
 	if st == nil || len(vs) > 0 {
 		return false, nil, nil
 	}

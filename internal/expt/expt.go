@@ -7,6 +7,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -91,7 +92,8 @@ type CircuitResult struct {
 // RunCircuit executes the full per-circuit pipeline: generate, size,
 // retime, size again (the retiming&sizing baseline), run VirtualSync's
 // period search, verify functional equivalence, and collect the row.
-func RunCircuit(spec gen.Spec, cfg Config) (*CircuitResult, error) {
+// Cancelling ctx aborts the period search with ctx.Err().
+func RunCircuit(ctx context.Context, spec gen.Spec, cfg Config) (*CircuitResult, error) {
 	c, err := gen.Generate(spec)
 	if err != nil {
 		return nil, err
@@ -112,7 +114,7 @@ func RunCircuit(spec gen.Spec, cfg Config) (*CircuitResult, error) {
 		return nil, fmt.Errorf("%s: post-retiming sizing: %v", spec.Name, err)
 	}
 
-	res, err := core.Optimize(base, cfg.Lib, cfg.Opts, cfg.StepFrac)
+	res, err := core.OptimizeCtx(ctx, base, cfg.Lib, cfg.Opts, cfg.StepFrac)
 	if err != nil {
 		return nil, fmt.Errorf("%s: virtualsync: %v", spec.Name, err)
 	}
@@ -133,7 +135,7 @@ func RunCircuit(spec gen.Spec, cfg Config) (*CircuitResult, error) {
 	}
 
 	// Fig. 8: VirtualSync at the baseline's own period.
-	same, err := core.OptimizeAtPeriod(base, cfg.Lib, res.BaselinePeriod, cfg.Opts)
+	same, err := core.OptimizeAtPeriodCtx(ctx, base, cfg.Lib, res.BaselinePeriod, cfg.Opts)
 	if err == nil && same != nil {
 		row.AreaSamePeriod = same.Area
 		row.BaselineAreaSamePeriod = same.BaselineArea
@@ -165,7 +167,7 @@ func RunCircuit(spec gen.Spec, cfg Config) (*CircuitResult, error) {
 
 // RunSuite runs RunCircuit over the named benchmarks (all of the paper's
 // suite when names is empty).
-func RunSuite(names []string, cfg Config) ([]*CircuitResult, error) {
+func RunSuite(ctx context.Context, names []string, cfg Config) ([]*CircuitResult, error) {
 	specs := gen.PaperSuite()
 	if len(names) > 0 {
 		var sel []gen.Spec
@@ -180,7 +182,7 @@ func RunSuite(names []string, cfg Config) ([]*CircuitResult, error) {
 	}
 	out := make([]*CircuitResult, 0, len(specs))
 	for _, s := range specs {
-		row, err := RunCircuit(s, cfg)
+		row, err := RunCircuit(ctx, s, cfg)
 		if err != nil {
 			return out, err
 		}

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -72,7 +73,7 @@ func TestRunCircuitSmallest(t *testing.T) {
 	spec, _ := gen.SpecByName("s5378")
 	cfg := DefaultConfig()
 	cfg.VerifyCycles = 32
-	row, err := RunCircuit(spec, cfg)
+	row, err := RunCircuit(context.Background(), spec, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestRunCircuitSmallest(t *testing.T) {
 }
 
 func TestRunSuiteUnknownName(t *testing.T) {
-	if _, err := RunSuite([]string{"nope"}, DefaultConfig()); err == nil {
+	if _, err := RunSuite(context.Background(), []string{"nope"}, DefaultConfig()); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"testing"
 
 	"virtualsync/internal/gen"
@@ -15,7 +16,7 @@ func TestPCIBridgeRow(t *testing.T) {
 	spec, _ := gen.SpecByName("pci_bridge")
 	cfg := DefaultConfig()
 	cfg.VerifyCycles = 24
-	row, err := RunCircuit(spec, cfg)
+	row, err := RunCircuit(context.Background(), spec, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

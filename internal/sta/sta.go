@@ -65,16 +65,46 @@ func Delays(c *netlist.Circuit, lib *celllib.Library) ([]float64, error) {
 	return d, err
 }
 
+// Overrides replaces selected timing quantities in an analysis. It is
+// the hook used by internal/variation to re-run STA under sampled
+// (process-varied) delays without mutating the circuit or library.
+type Overrides struct {
+	// Delays, when non-nil, supplies the combinational delay of every
+	// node indexed by netlist.NodeID, replacing library lookups. Entries
+	// for ports, constants and sequential nodes are ignored.
+	Delays []float64
+	// FF and Latch, when non-nil, replace the library's sequential
+	// timing (tcq, tsu, th).
+	FF, Latch *celllib.SeqTiming
+}
+
 // Analyze runs static timing analysis on a synchronous circuit. The
 // circuit must be free of combinational loops.
 func Analyze(c *netlist.Circuit, lib *celllib.Library) (*Result, error) {
+	return AnalyzeOverride(c, lib, Overrides{})
+}
+
+// AnalyzeOverride is Analyze with selected timing quantities replaced.
+func AnalyzeOverride(c *netlist.Circuit, lib *celllib.Library, ov Overrides) (*Result, error) {
 	order, err := c.TopoOrder()
 	if err != nil {
 		return nil, fmt.Errorf("sta: %v", err)
 	}
-	delays, err := Delays(c, lib)
-	if err != nil {
-		return nil, fmt.Errorf("sta: %v", err)
+	delays := ov.Delays
+	if delays == nil {
+		delays, err = Delays(c, lib)
+		if err != nil {
+			return nil, fmt.Errorf("sta: %v", err)
+		}
+	} else if len(delays) < len(c.Nodes) {
+		return nil, fmt.Errorf("sta: delay override has %d entries for %d nodes", len(delays), len(c.Nodes))
+	}
+	ff, latch := lib.FF, lib.Latch
+	if ov.FF != nil {
+		ff = *ov.FF
+	}
+	if ov.Latch != nil {
+		latch = *ov.Latch
 	}
 
 	n := len(c.Nodes)
@@ -93,9 +123,9 @@ func Analyze(c *netlist.Circuit, lib *celllib.Library) (*Result, error) {
 		case netlist.KindInput, netlist.KindConst0, netlist.KindConst1:
 			return 0, true
 		case netlist.KindDFF:
-			return lib.FF.Tcq, true
+			return ff.Tcq, true
 		case netlist.KindLatch:
-			return lib.Latch.Tcq, true
+			return latch.Tcq, true
 		}
 		return 0, false
 	}
@@ -139,9 +169,9 @@ func Analyze(c *netlist.Circuit, lib *celllib.Library) (*Result, error) {
 		u := nd.Fanins[0]
 		switch nd.Kind {
 		case netlist.KindDFF:
-			return r.MaxArrival[u] + lib.FF.Tsu, r.MinArrival[u] >= lib.FF.Th-1e-9, true
+			return r.MaxArrival[u] + ff.Tsu, r.MinArrival[u] >= ff.Th-1e-9, true
 		case netlist.KindLatch:
-			return r.MaxArrival[u] + lib.Latch.Tsu, r.MinArrival[u] >= lib.Latch.Th-1e-9, true
+			return r.MaxArrival[u] + latch.Tsu, r.MinArrival[u] >= latch.Th-1e-9, true
 		case netlist.KindOutput:
 			return r.MaxArrival[u], true, true
 		}
@@ -172,9 +202,9 @@ func Analyze(c *netlist.Circuit, lib *celllib.Library) (*Result, error) {
 		}
 		switch nd.Kind {
 		case netlist.KindDFF:
-			seed(r.Down, nd.Fanins[0], lib.FF.Tsu)
+			seed(r.Down, nd.Fanins[0], ff.Tsu)
 		case netlist.KindLatch:
-			seed(r.Down, nd.Fanins[0], lib.Latch.Tsu)
+			seed(r.Down, nd.Fanins[0], latch.Tsu)
 		case netlist.KindOutput:
 			seed(r.Down, nd.Fanins[0], 0)
 		}

@@ -319,3 +319,53 @@ func nodeName(prefix string, i int) string {
 	}
 	return nodeName(prefix, i/10) + digits[i%10:i%10+1]
 }
+
+func TestAnalyzeOverride(t *testing.T) {
+	c := fig1a(t)
+	lib := fig1Lib(t)
+	nominal, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Scaling every combinational delay by 1.5 scales the combinational
+	// part of the minimum period (tcq and tsu stay fixed).
+	delays, err := Delays(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := make([]float64, len(delays))
+	for i, d := range delays {
+		scaled[i] = 1.5 * d
+	}
+	r, err := AnalyzeOverride(c, lib, Overrides{Delays: scaled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 + 1.5*17 + 1 // tcq + 1.5*path + tsu on the F2->F3 path
+	if math.Abs(r.MinPeriod-want) > 1e-9 {
+		t.Fatalf("scaled MinPeriod = %g, want %g", r.MinPeriod, want)
+	}
+
+	// Overriding FF timing moves the period by the tcq+tsu delta.
+	ff := lib.FF
+	ff.Tcq, ff.Tsu = 5, 2
+	r2, err := AnalyzeOverride(c, lib, Overrides{FF: &ff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r2.MinPeriod-(nominal.MinPeriod+3)) > 1e-9 {
+		t.Fatalf("FF-override MinPeriod = %g, want %g", r2.MinPeriod, nominal.MinPeriod+3)
+	}
+
+	// A short override slice is rejected.
+	if _, err := AnalyzeOverride(c, lib, Overrides{Delays: make([]float64, 1)}); err == nil {
+		t.Fatal("short delay override accepted")
+	}
+
+	// Empty overrides reproduce Analyze exactly.
+	r3, err := AnalyzeOverride(c, lib, Overrides{})
+	if err != nil || r3.MinPeriod != nominal.MinPeriod {
+		t.Fatalf("empty override diverged: %v %v", r3.MinPeriod, err)
+	}
+}

@@ -1,0 +1,266 @@
+package variation
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"virtualsync/internal/celllib"
+	"virtualsync/internal/core"
+	"virtualsync/internal/netlist"
+	"virtualsync/internal/sta"
+)
+
+// STACase judges an FF-synchronized circuit under sampled delays with
+// classic static timing analysis: a sample passes at period T when the
+// sampled minimum period fits in T and no hold constraint fails.
+type STACase struct {
+	Circuit *netlist.Circuit
+	Lib     *celllib.Library
+	Model   Model
+
+	nominal []float64 // per NodeID combinational delay
+	sigma   []float64 // per NodeID relative std-dev
+
+	// baseHold marks endpoints that violate hold already at nominal
+	// delays (e.g. flip-flops fed directly by primary inputs, which this
+	// STA model launches at t=0). The nominal design is accepted by
+	// construction, so only hold violations introduced by variation
+	// count as failures.
+	baseHold map[netlist.NodeID]bool
+}
+
+// NewSTACase precomputes nominal delays, per-cell sigmas and the
+// nominal hold-violation set.
+func NewSTACase(c *netlist.Circuit, lib *celllib.Library, m Model) (*STACase, error) {
+	nominal, err := sta.Delays(c, lib)
+	if err != nil {
+		return nil, fmt.Errorf("variation: %v", err)
+	}
+	sigma := make([]float64, len(c.Nodes))
+	c.Live(func(n *netlist.Node) {
+		sigma[n.ID] = lib.SigmaFor(n)
+	})
+	nom, err := sta.Analyze(c, lib)
+	if err != nil {
+		return nil, fmt.Errorf("variation: %v", err)
+	}
+	baseHold := map[netlist.NodeID]bool{}
+	for _, id := range nom.HoldViolations {
+		baseHold[id] = true
+	}
+	return &STACase{Circuit: c, Lib: lib, Model: m, nominal: nominal, sigma: sigma, baseHold: baseHold}, nil
+}
+
+// Name implements Case.
+func (s *STACase) Name() string { return "ff-baseline/" + s.Circuit.Name }
+
+// Eval implements Case. Draw order is fixed (global, then gates in node
+// order, then FF and latch timing), so results depend only on the
+// stream, never on scheduling.
+func (s *STACase) Eval(rng *RNG, periods []float64) (Verdict, error) {
+	g := s.Model.global(rng)
+	delays := make([]float64, len(s.nominal))
+	for id, d0 := range s.nominal {
+		if d0 == 0 {
+			continue
+		}
+		delays[id] = d0 * s.Model.Factor(rng, g, s.sigma[id])
+	}
+	ff := s.Lib.FF.Scaled(s.Model.Factor(rng, g, s.Lib.FF.Sigma))
+	latch := s.Lib.Latch.Scaled(s.Model.Factor(rng, g, s.Lib.Latch.Sigma))
+	res, err := sta.AnalyzeOverride(s.Circuit, s.Lib, sta.Overrides{Delays: delays, FF: &ff, Latch: &latch})
+	if err != nil {
+		return Verdict{}, err
+	}
+	v := Verdict{Pass: make([]bool, len(periods)), FirstFail: make([]string, len(periods))}
+	hold := false
+	for _, id := range res.HoldViolations {
+		if !s.baseHold[id] {
+			hold = true
+			break
+		}
+	}
+	for i, T := range periods {
+		switch {
+		case res.MinPeriod > T+1e-9:
+			v.FirstFail[i] = "setup"
+		case hold:
+			v.FirstFail[i] = "hold"
+		default:
+			v.Pass[i] = true
+		}
+	}
+	return v, nil
+}
+
+// WaveCase judges a VirtualSync-optimized circuit under sampled delays
+// with the exact wave-timing validator at unity guard bands: each
+// sample is one concrete delay outcome, so the guard bands that
+// produced the plan are replaced by the sampled reality.
+//
+// Two modeled simplifications: all FF delay units share one sampled
+// timing scale per die (likewise latches), and the untouched logic
+// outside the region is checked against its nominal minimum period
+// scaled by the global component only (local variation averages out
+// over the long external paths).
+type WaveCase struct {
+	Plan  *core.Plan
+	Model Model
+
+	label     string
+	gateSigma []float64 // per region gate
+	bufDelay  []float64 // per buffer drive index
+	bufSigma  float64
+	extPeriod float64
+}
+
+// NewWaveCase precomputes per-gate sigmas and buffer options from an
+// optimization result. The plan must not be mutated while the case is
+// in use; Eval never writes to it.
+func NewWaveCase(res *core.Result, m Model) (*WaveCase, error) {
+	if res == nil || res.Plan == nil {
+		return nil, fmt.Errorf("variation: no plan in optimization result")
+	}
+	p := res.Plan
+	r := p.R
+	w := &WaveCase{
+		Plan:      p,
+		Model:     m,
+		label:     "virtualsync/" + r.Work.Name,
+		gateSigma: make([]float64, len(r.Gates)),
+		extPeriod: r.ExternalPeriod,
+	}
+	for gi, id := range r.Gates {
+		w.gateSigma[gi] = r.Lib.SigmaFor(r.Work.Node(id))
+	}
+	if buf := r.Lib.Cell("BUF"); buf != nil {
+		w.bufDelay = make([]float64, len(buf.Options))
+		for i, o := range buf.Options {
+			w.bufDelay[i] = o.Delay
+		}
+		w.bufSigma = buf.Sigma
+	} else if p.NumBuffers() > 0 {
+		return nil, fmt.Errorf("variation: plan has buffer chains but the library has no BUF cell")
+	}
+	return w, nil
+}
+
+// Name implements Case.
+func (w *WaveCase) Name() string { return w.label }
+
+// Eval implements Case. Draw order is fixed: global, region gates in
+// index order, chain buffers in edge then position order, FF timing,
+// latch timing.
+func (w *WaveCase) Eval(rng *RNG, periods []float64) (Verdict, error) {
+	p := w.Plan
+	m := w.Model
+	g := m.global(rng)
+
+	gd := make([]float64, len(p.GateDelay))
+	for gi, d0 := range p.GateDelay {
+		if d0 == 0 {
+			continue
+		}
+		gd[gi] = d0 * m.Factor(rng, g, w.gateSigma[gi])
+	}
+	cd := make([]float64, len(p.ChainDelay))
+	for ei, chain := range p.Chain {
+		sum := 0.0
+		for _, drive := range chain {
+			sum += w.bufDelay[drive] * m.Factor(rng, g, w.bufSigma)
+		}
+		cd[ei] = sum
+	}
+	lib := p.R.Lib
+	ff := lib.FF.Scaled(m.Factor(rng, g, lib.FF.Sigma))
+	latch := lib.Latch.Scaled(m.Factor(rng, g, lib.Latch.Sigma))
+	extFactor := 1 + m.GlobalSigma*g
+	if extFactor < m.MinFactor {
+		extFactor = m.MinFactor
+	}
+
+	v := Verdict{Pass: make([]bool, len(periods)), FirstFail: make([]string, len(periods))}
+	for i, T := range periods {
+		if w.extPeriod*extFactor > T+1e-9 {
+			v.FirstFail[i] = "external-period"
+			continue
+		}
+		vs := p.ValidateWith(core.ValidateParams{
+			T:         T,
+			GateDelay: gd, ChainDelay: cd,
+			Ru: 1, Rl: 1,
+			FF: &ff, Latch: &latch,
+			// One concrete delay assignment: latches follow sample physics
+			// (block or pass through) instead of the corner-interval model.
+			TransparentLatches: true,
+		})
+		if len(vs) == 0 {
+			v.Pass[i] = true
+		} else {
+			v.FirstFail[i] = vs[0].Check
+		}
+	}
+	return v, nil
+}
+
+// DefaultPeriods builds a yield-curve period sweep for an optimization
+// that reached topt from baseline tbase: eight evenly spaced points
+// from 4% below topt to 4% above tbase, plus topt and tbase exactly,
+// ascending and deduplicated.
+func DefaultPeriods(topt, tbase float64) []float64 {
+	if tbase < topt {
+		topt, tbase = tbase, topt
+	}
+	lo, hi := 0.96*topt, 1.04*tbase
+	ps := []float64{topt, tbase}
+	const n = 8
+	for i := 0; i < n; i++ {
+		ps = append(ps, lo+(hi-lo)*float64(i)/(n-1))
+	}
+	sort.Float64s(ps)
+	out := ps[:1]
+	for _, p := range ps[1:] {
+		if p-out[len(out)-1] > 1e-9 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Comparison holds the baseline and optimized Monte Carlo results over
+// one shared period sweep.
+type Comparison struct {
+	TOpt  float64 // the optimized (VirtualSync) period
+	TBase float64 // the guard-banded baseline period
+	Base  *Result // FF-synchronized baseline circuit
+	Opt   *Result // VirtualSync-optimized circuit
+}
+
+// Compare runs the Monte Carlo engine on both sides of one
+// optimization: classic STA on the FF-synchronized input circuit and
+// wave-window validation on the optimized plan, over the same periods,
+// samples and seed. When cfg.Periods is empty, DefaultPeriods spans the
+// optimized-to-baseline range.
+func Compare(ctx context.Context, base *netlist.Circuit, res *core.Result, lib *celllib.Library, cfg Config) (*Comparison, error) {
+	if len(cfg.Periods) == 0 {
+		cfg.Periods = DefaultPeriods(res.Period, res.BaselinePeriod)
+	}
+	sc, err := NewSTACase(base, lib, cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	wc, err := NewWaveCase(res, cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	br, err := Run(ctx, cfg, sc)
+	if err != nil {
+		return nil, err
+	}
+	or, err := Run(ctx, cfg, wc)
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{TOpt: res.Period, TBase: res.BaselinePeriod, Base: br, Opt: or}, nil
+}

@@ -1,0 +1,202 @@
+package variation
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Verdict is the outcome of evaluating one delay sample: per candidate
+// period, whether the circuit works and (when it does not) which
+// constraint failed first.
+type Verdict struct {
+	// Pass has one entry per period handed to Eval.
+	Pass []bool
+	// FirstFail names the first failing constraint per period; entries
+	// for passing periods are "".
+	FirstFail []string
+}
+
+// Case evaluates one Monte Carlo sample. Eval draws every random
+// quantity it needs from rng (and nothing else), so a Case must be
+// stateless across calls: Run invokes Eval concurrently from many
+// goroutines with per-sample streams.
+type Case interface {
+	// Name labels the case in reports.
+	Name() string
+	// Eval samples one delay assignment and judges it at each period.
+	Eval(rng *RNG, periods []float64) (Verdict, error)
+}
+
+// Config parameterizes one Monte Carlo run.
+type Config struct {
+	// Samples is the number of Monte Carlo samples (required, > 0).
+	Samples int
+	// Workers is the number of evaluation goroutines; 0 means
+	// runtime.GOMAXPROCS(0). The worker count never changes results,
+	// only wall-clock time.
+	Workers int
+	// Seed selects the random sequence; a fixed seed gives bit-identical
+	// results across runs and worker counts.
+	Seed uint64
+	// Periods are the candidate clock periods to judge each sample at
+	// (required, ascending order recommended).
+	Periods []float64
+	// Model is the variation model; the zero value disables variation
+	// entirely (every sample is nominal).
+	Model Model
+}
+
+func (cfg Config) workers() int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (cfg Config) validate() error {
+	if cfg.Samples <= 0 {
+		return fmt.Errorf("variation: Samples = %d, need > 0", cfg.Samples)
+	}
+	if len(cfg.Periods) == 0 {
+		return fmt.Errorf("variation: no candidate periods")
+	}
+	return nil
+}
+
+// Result aggregates a Monte Carlo run.
+type Result struct {
+	Name    string
+	Samples int
+	Workers int
+	Seed    uint64
+	Periods []float64
+
+	// Pass counts passing samples per period.
+	Pass []int
+	// FirstFail histograms the first failing constraint per period,
+	// keyed by constraint name.
+	FirstFail []map[string]int
+
+	Elapsed time.Duration
+}
+
+// Yield returns the pass fraction at period index i.
+func (r *Result) Yield(i int) float64 {
+	return float64(r.Pass[i]) / float64(r.Samples)
+}
+
+// YieldAt returns the yield at the period closest to T.
+func (r *Result) YieldAt(T float64) float64 {
+	best, dist := 0, -1.0
+	for i, p := range r.Periods {
+		d := p - T
+		if d < 0 {
+			d = -d
+		}
+		if dist < 0 || d < dist {
+			best, dist = i, d
+		}
+	}
+	return r.Yield(best)
+}
+
+// FailModes lists the first-fail constraint names at period index i in
+// descending count order (ties broken alphabetically).
+func (r *Result) FailModes(i int) []string {
+	names := make([]string, 0, len(r.FirstFail[i]))
+	for n := range r.FirstFail[i] {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(a, b int) bool {
+		ca, cb := r.FirstFail[i][names[a]], r.FirstFail[i][names[b]]
+		if ca != cb {
+			return ca > cb
+		}
+		return names[a] < names[b]
+	})
+	return names
+}
+
+// Run executes the Monte Carlo loop: cfg.Samples evaluations of cs
+// spread over cfg.Workers goroutines. Sample i always draws from stream
+// i of the seed, and verdicts are folded in sample order after all
+// workers join, so the result is bit-identical for any worker count.
+// Cancelling ctx aborts the run with ctx.Err(); an Eval error aborts it
+// with that error.
+func Run(ctx context.Context, cfg Config, cs Case) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	workers := cfg.workers()
+	root := NewRNG(cfg.Seed)
+	verdicts := make([]Verdict, cfg.Samples)
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var errOnce sync.Once
+	var evalErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Samples || cctx.Err() != nil {
+					return
+				}
+				v, err := cs.Eval(root.Stream(uint64(i)), cfg.Periods)
+				if err != nil {
+					errOnce.Do(func() { evalErr = err })
+					cancel()
+					return
+				}
+				verdicts[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Name:      cs.Name(),
+		Samples:   cfg.Samples,
+		Workers:   workers,
+		Seed:      cfg.Seed,
+		Periods:   append([]float64(nil), cfg.Periods...),
+		Pass:      make([]int, len(cfg.Periods)),
+		FirstFail: make([]map[string]int, len(cfg.Periods)),
+	}
+	for pi := range res.FirstFail {
+		res.FirstFail[pi] = map[string]int{}
+	}
+	for i := range verdicts {
+		v := &verdicts[i]
+		if len(v.Pass) != len(cfg.Periods) || len(v.FirstFail) != len(cfg.Periods) {
+			return nil, fmt.Errorf("variation: case %q returned %d verdict entries for %d periods",
+				cs.Name(), len(v.Pass), len(cfg.Periods))
+		}
+		for pi := range cfg.Periods {
+			if v.Pass[pi] {
+				res.Pass[pi]++
+			} else {
+				res.FirstFail[pi][v.FirstFail[pi]]++
+			}
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

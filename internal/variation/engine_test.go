@@ -1,0 +1,166 @@
+package variation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// coinCase passes a period when a fresh draw from the sample's stream
+// clears a per-period threshold; it exercises the engine without any
+// circuit machinery.
+type coinCase struct {
+	delay time.Duration // optional per-Eval sleep, for cancellation tests
+}
+
+func (coinCase) Name() string { return "coin" }
+
+func (c coinCase) Eval(rng *RNG, periods []float64) (Verdict, error) {
+	if c.delay > 0 {
+		time.Sleep(c.delay)
+	}
+	v := Verdict{Pass: make([]bool, len(periods)), FirstFail: make([]string, len(periods))}
+	for i, p := range periods {
+		if rng.Float64() < p {
+			v.Pass[i] = true
+		} else if rng.Float64() < 0.5 {
+			v.FirstFail[i] = "heads"
+		} else {
+			v.FirstFail[i] = "tails"
+		}
+	}
+	return v, nil
+}
+
+func runCoin(t *testing.T, workers int) *Result {
+	t.Helper()
+	res, err := Run(context.Background(), Config{
+		Samples: 500, Workers: workers, Seed: 11,
+		Periods: []float64{0.1, 0.5, 0.9},
+	}, coinCase{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func sameOutcome(a, b *Result) bool {
+	return reflect.DeepEqual(a.Pass, b.Pass) && reflect.DeepEqual(a.FirstFail, b.FirstFail)
+}
+
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	ref := runCoin(t, 1)
+	for _, w := range []int{2, 3, 8} {
+		got := runCoin(t, w)
+		if !sameOutcome(ref, got) {
+			t.Fatalf("workers=%d changed results:\n1: %v %v\n%d: %v %v",
+				w, ref.Pass, ref.FirstFail, w, got.Pass, got.FirstFail)
+		}
+	}
+	// Sanity: the three thresholds produce ordered, non-trivial yields.
+	if !(ref.Yield(0) < ref.Yield(1) && ref.Yield(1) < ref.Yield(2)) {
+		t.Fatalf("yields not ordered: %g %g %g", ref.Yield(0), ref.Yield(1), ref.Yield(2))
+	}
+}
+
+func TestRunDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	ref := runCoin(t, 0) // workers = GOMAXPROCS
+	old := runtime.GOMAXPROCS(1)
+	got := runCoin(t, 0)
+	runtime.GOMAXPROCS(old)
+	if !sameOutcome(ref, got) {
+		t.Fatal("GOMAXPROCS=1 changed Monte Carlo results")
+	}
+}
+
+func TestRunCancellationMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	_, err := Run(ctx, Config{
+		Samples: 1 << 20, Workers: 4, Seed: 1,
+		Periods: []float64{0.5},
+	}, coinCase{delay: 50 * time.Microsecond})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+}
+
+func TestRunDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := Run(ctx, Config{
+		Samples: 1 << 20, Workers: 2, Seed: 1,
+		Periods: []float64{0.5},
+	}, coinCase{delay: 50 * time.Microsecond})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timed-out run returned %v, want context.DeadlineExceeded", err)
+	}
+}
+
+type errCase struct{ at int }
+
+func (errCase) Name() string { return "err" }
+
+func (e errCase) Eval(rng *RNG, periods []float64) (Verdict, error) {
+	// The stream's first draw identifies the sample only probabilistically;
+	// instead fail on a fixed fraction so every worker layout hits it.
+	if rng.Float64() < 0.01 {
+		return Verdict{}, fmt.Errorf("boom")
+	}
+	v := Verdict{Pass: make([]bool, len(periods)), FirstFail: make([]string, len(periods))}
+	return v, nil
+}
+
+func TestRunErrorPropagation(t *testing.T) {
+	_, err := Run(context.Background(), Config{
+		Samples: 1000, Workers: 4, Seed: 3,
+		Periods: []float64{1},
+	}, errCase{})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("Eval error not propagated: %v", err)
+	}
+}
+
+type shortCase struct{}
+
+func (shortCase) Name() string { return "short" }
+func (shortCase) Eval(rng *RNG, periods []float64) (Verdict, error) {
+	return Verdict{Pass: []bool{true}, FirstFail: []string{""}}, nil
+}
+
+func TestRunRejectsBadConfigAndVerdicts(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Periods: []float64{1}}, coinCase{}); err == nil {
+		t.Fatal("Samples=0 accepted")
+	}
+	if _, err := Run(context.Background(), Config{Samples: 10}, coinCase{}); err == nil {
+		t.Fatal("empty Periods accepted")
+	}
+	if _, err := Run(context.Background(), Config{
+		Samples: 4, Seed: 1, Periods: []float64{1, 2},
+	}, shortCase{}); err == nil {
+		t.Fatal("verdict length mismatch accepted")
+	}
+}
+
+func TestFailModesOrdering(t *testing.T) {
+	r := &Result{
+		Samples:   10,
+		Periods:   []float64{1},
+		Pass:      []int{4},
+		FirstFail: []map[string]int{{"b": 3, "a": 3, "c": 4}},
+	}
+	modes := r.FailModes(0)
+	if !reflect.DeepEqual(modes, []string{"c", "a", "b"}) {
+		t.Fatalf("FailModes = %v", modes)
+	}
+	if r.Yield(0) != 0.4 {
+		t.Fatalf("Yield = %g", r.Yield(0))
+	}
+}

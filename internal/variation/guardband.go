@@ -1,0 +1,27 @@
+package variation
+
+import (
+	"context"
+
+	"virtualsync/internal/core"
+)
+
+// GuardBandYield adapts the Monte Carlo engine into a core.YieldFunc
+// for guard-band tuning: each candidate optimization is judged by its
+// wave-window yield at its own achieved period. Samples, Seed, Workers
+// and Model come from cfg; cfg.Periods is ignored.
+func GuardBandYield(cfg Config) core.YieldFunc {
+	return func(ctx context.Context, res *core.Result) (float64, error) {
+		wc, err := NewWaveCase(res, cfg.Model)
+		if err != nil {
+			return 0, err
+		}
+		c := cfg
+		c.Periods = []float64{res.Period}
+		r, err := Run(ctx, c, wc)
+		if err != nil {
+			return 0, err
+		}
+		return r.Yield(0), nil
+	}
+}

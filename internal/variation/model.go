@@ -1,0 +1,59 @@
+package variation
+
+// Model describes how process variation perturbs cell delays. Every
+// delay d0 with relative standard deviation sigma becomes
+//
+//	d = d0 * max(MinFactor, 1 + GlobalSigma*G + sigma*LocalScale*L)
+//
+// where G is one standard normal draw shared by the whole die (inter-die
+// variation) and L is an independent standard normal per instance
+// (intra-die variation). Sequential timing quantities (tcq, tdq, tsu,
+// th) scale together per element with the library's FF/latch sigma.
+type Model struct {
+	// GlobalSigma is the relative standard deviation of the shared
+	// inter-die component.
+	GlobalSigma float64
+	// LocalScale multiplies every cell's own sigma; 1 uses library
+	// sigmas as-is, 0 disables local variation.
+	LocalScale float64
+	// DefaultSigma substitutes for cells whose library sigma is zero
+	// (e.g. libraries written before sigma annotations existed).
+	DefaultSigma float64
+	// MinFactor clamps the sampled delay factor from below so extreme
+	// draws cannot produce negative or near-zero delays.
+	MinFactor float64
+}
+
+// DefaultModel returns a moderate 45nm-style variation model: 2%
+// inter-die sigma, library intra-die sigmas as-is with a 5% fallback.
+func DefaultModel() Model {
+	return Model{GlobalSigma: 0.02, LocalScale: 1, DefaultSigma: 0.05, MinFactor: 0.05}
+}
+
+// sigmaOr resolves a cell sigma against the model's fallback.
+func (m Model) sigmaOr(sigma float64) float64 {
+	if sigma <= 0 {
+		return m.DefaultSigma
+	}
+	return sigma
+}
+
+// Factor samples one delay scale factor for an instance with the given
+// library sigma, under shared global draw g.
+func (m Model) Factor(rng *RNG, g, sigma float64) float64 {
+	f := 1 + m.GlobalSigma*g + m.sigmaOr(sigma)*m.LocalScale*rng.Norm()
+	if f < m.MinFactor {
+		f = m.MinFactor
+	}
+	return f
+}
+
+// global samples the shared inter-die draw for one die, or 0 when the
+// model has no global component (keeping the stream position stable is
+// not required: every sample owns its stream).
+func (m Model) global(rng *RNG) float64 {
+	if m.GlobalSigma == 0 {
+		return 0
+	}
+	return rng.Norm()
+}

@@ -30,6 +30,7 @@
 package virtualsync
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -134,6 +135,12 @@ func Optimize(c *Circuit, lib *Library, opts Options) (*Result, error) {
 // OptimizeStep is Optimize with an explicit period-search step fraction.
 func OptimizeStep(c *Circuit, lib *Library, opts Options, stepFrac float64) (*Result, error) {
 	return core.Optimize(c, lib, opts, stepFrac)
+}
+
+// OptimizeCtx is OptimizeStep under a context: cancellation or deadline
+// expiry aborts the period search with ctx.Err().
+func OptimizeCtx(ctx context.Context, c *Circuit, lib *Library, opts Options, stepFrac float64) (*Result, error) {
+	return core.OptimizeCtx(ctx, c, lib, opts, stepFrac)
 }
 
 // OptimizeAtPeriod attempts to realize one specific clock period; it
