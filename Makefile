@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench bench-lp
 
 # The full pre-commit gate: formatting, vet, build, the whole test
-# suite, and the race detector over the parallel Monte Carlo engine.
+# suite, and the race detector over every parallel subsystem (Monte
+# Carlo engine, branch-and-bound, suite runner).
 check: fmt vet build test race
 
 fmt:
@@ -21,7 +22,15 @@ test:
 
 race:
 	$(GO) test -race ./internal/variation/...
+	$(GO) test -race -short ./internal/lp/... ./internal/expt/...
 
 # Regenerate every paper table/figure (writes results/).
 bench:
 	$(GO) test -bench=. -benchmem
+
+# LP-core and suite-runner benchmarks only, with machine-readable
+# output in BENCH_lp.json (pivots/op and warm-start hit rates included
+# in the benchmark metrics).
+bench-lp:
+	$(GO) test -json -run '^$$' -bench 'LPSolve|SuiteParallel' -benchmem . > BENCH_lp.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_lp.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true

@@ -270,11 +270,74 @@ func BenchmarkLPSolve(b *testing.B) {
 		prev = s
 	}
 	b.ResetTimer()
+	pivots := 0
 	for i := 0; i < b.N; i++ {
 		sol, err := m.Solve()
 		if err != nil || sol.Status != lp.Optimal {
 			b.Fatalf("%v %v", sol, err)
 		}
+		pivots += sol.Stats.Pivots()
+	}
+	b.ReportMetric(float64(pivots)/float64(b.N), "pivots/op")
+}
+
+// BenchmarkLPSolveBoxed measures the bounded-variable simplex and
+// warm-started branch-and-bound on a legalization-shaped ILP: boxed
+// padding variables plus binary case-selection variables coupled through
+// big-M rows. Reports pivots/op and the warm-start hit rate across the
+// branch-and-bound tree.
+func BenchmarkLPSolveBoxed(b *testing.B) {
+	m := lp.NewModel("bench-boxed")
+	// Tight deadlines (slope 6 below the mean stage delay) force the
+	// optimum to buy padding, and every pad's use beyond a small free
+	// allowance requires its binary, so branch-and-bound genuinely
+	// branches.
+	n := 40
+	prev := m.AddVar("s0", 0, 0, 0)
+	for i := 1; i < n; i++ {
+		s := m.AddVar("s", -lp.Inf, lp.Inf, 0)
+		pad := m.AddVar("p", 0, 8, 1+0.13*float64(i%7))
+		d := 4 + float64((i*5)%6) // stage delays in [4, 9]
+		m.MustConstrain("c", []lp.Term{{Var: s, Coeff: 1}, {Var: prev, Coeff: -1}, {Var: pad, Coeff: 1}}, lp.GE, d)
+		m.MustConstrain("u", []lp.Term{{Var: s, Coeff: 1}}, lp.LE, float64(6*i+5))
+		bin := m.AddBinVar("b", 1+0.21*float64(i%5))
+		m.MustConstrain("link", []lp.Term{{Var: pad, Coeff: 1}, {Var: bin, Coeff: -8}}, lp.LE, 0.5+0.1*float64(i%11))
+		prev = s
+	}
+	b.ResetTimer()
+	pivots, warmPct := 0, 0.0
+	for i := 0; i < b.N; i++ {
+		sol, err := m.Solve()
+		if err != nil || sol.Status != lp.Optimal {
+			b.Fatalf("%v %v", sol, err)
+		}
+		pivots += sol.Stats.Pivots()
+		warmPct += 100 * sol.Stats.WarmHitRate()
+	}
+	b.ReportMetric(float64(pivots)/float64(b.N), "pivots/op")
+	b.ReportMetric(warmPct/float64(b.N), "warmstart-hit-%")
+}
+
+// BenchmarkSuiteParallel measures RunSuite wall clock over the two
+// smallest paper circuits at 1, 2, and 4 workers. Results are
+// deterministic at every width; only the wall clock changes.
+func BenchmarkSuiteParallel(b *testing.B) {
+	names := []string{"s5378", "systemcdes"}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := expt.DefaultConfig()
+			cfg.VerifyCycles = 0
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				rows, err := expt.RunSuite(context.Background(), names, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != len(names) {
+					b.Fatalf("%d rows, want %d", len(rows), len(names))
+				}
+			}
+		})
 	}
 }
 

@@ -28,6 +28,7 @@ func main() {
 	samples := flag.Int("samples", 400, "Monte Carlo samples per circuit (yield experiment)")
 	seed := flag.Uint64("seed", 1, "Monte Carlo seed (yield experiment)")
 	timeout := flag.Duration("timeout", 0, "abort the whole experiment after this long (0 = no limit)")
+	workers := flag.Int("workers", 1, "circuits optimized concurrently (results identical at any width)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -41,6 +42,7 @@ func main() {
 	cfg.VerifyCycles = *verify
 	cfg.StepFrac = *step
 	cfg.Progress = os.Stderr
+	cfg.Workers = *workers
 
 	var names []string
 	if *circuits != "" {

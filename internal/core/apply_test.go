@@ -21,7 +21,7 @@ func realizedPlan(t *testing.T) *Plan {
 	if err != nil || p == nil {
 		t.Fatalf("optimizeRegion: %v %v", p, err)
 	}
-	if err := p.realize(); err != nil {
+	if err := p.realize(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	return p

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+
+	"virtualsync/internal/lp"
 )
 
 // quantMargin is the late-side headroom reserved for buffer-chain
@@ -23,7 +26,7 @@ func (p *Plan) quantMargin() float64 {
 // validated and locally repaired; realize reports an error when no valid
 // realization is found (the caller treats the target period as
 // infeasible).
-func (p *Plan) realize() error {
+func (p *Plan) realize(ctx context.Context) error {
 	r := p.R
 	nG, nE := len(r.Gates), len(r.Edges)
 
@@ -49,6 +52,9 @@ func (p *Plan) realize() error {
 	for ei := range freeze {
 		freeze[ei] = math.NaN()
 	}
+	// The repair LP re-solves the same frozen structure as edges freeze
+	// one batch at a time, so each round warm-starts from the last.
+	var warm *lp.Basis
 	solveFrozen := func() (*modelVars, bool, error) {
 		spec := &modelSpec{
 			T:         p.T,
@@ -57,14 +63,16 @@ func (p *Plan) realize() error {
 			fixed:     p.Unit,
 			gateDelay: p.GateDelay,
 			freezeXi:  freeze,
+			warm:      warm,
 		}
 		for ei := range spec.modes {
 			spec.modes[ei] = ModeFixed
 		}
-		mv, sol, err := r.solveSpec(spec)
+		mv, sol, err := r.solveSpec(ctx, spec)
 		if err != nil || sol == nil {
 			return nil, false, err
 		}
+		warm = sol.Basis
 		for ei := 0; ei < nE; ei++ {
 			if math.IsNaN(freeze[ei]) {
 				p.XiReq[ei] = sol.Value(mv.xi[ei])
@@ -350,7 +358,7 @@ func (p *Plan) spreadRepairEdge(gi int) (edge int, lateSide bool) {
 // replaced by sequential delay units when the exact model still validates,
 // reducing area. Chains are visited largest-area first; each successful
 // replacement re-derives the remaining buffer delays with a repair LP.
-func (p *Plan) replaceBuffers() (replaced int) {
+func (p *Plan) replaceBuffers(ctx context.Context) (replaced int) {
 	r := p.R
 	lpBudget := 64 // repair-LP invocations across all candidates
 	buf := r.Lib.Cell("BUF")
@@ -410,7 +418,7 @@ func (p *Plan) replaceBuffers() (replaced int) {
 					break
 				}
 				spent := edgeBudget
-				ok := p.tryUnitAt(ei, kind, ph, &edgeBudget)
+				ok := p.tryUnitAt(ctx, ei, kind, ph, &edgeBudget)
 				lpBudget -= spent - edgeBudget
 				if ok {
 					replaced++
@@ -443,7 +451,7 @@ func (p *Plan) replaceBuffers() (replaced int) {
 // tryUnitAt attempts to realize a unit of the given kind and phase on edge
 // ei in place of its buffer chain, re-deriving buffer delays with a repair
 // LP and validating. On failure the plan is restored by the caller.
-func (p *Plan) tryUnitAt(ei int, kind UnitKind, phaseFrac float64, lpBudget *int) bool {
+func (p *Plan) tryUnitAt(ctx context.Context, ei int, kind UnitKind, phaseFrac float64, lpBudget *int) bool {
 	r := p.R
 	nE := len(r.Edges)
 
@@ -492,7 +500,7 @@ func (p *Plan) tryUnitAt(ei int, kind UnitKind, phaseFrac float64, lpBudget *int
 		for i := range spec.modes {
 			spec.modes[i] = ModeFixed
 		}
-		mv, sol, err := r.solveSpec(spec)
+		mv, sol, err := r.solveSpec(ctx, spec)
 		if err == nil && sol != nil {
 			for i := 0; i < nE; i++ {
 				p.XiReq[i] = sol.Value(mv.xi[i])

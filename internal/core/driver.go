@@ -100,7 +100,10 @@ func optimizeExtracted(ctx context.Context, r *Region, c *netlist.Circuit, lib *
 	if plan == nil {
 		return nil, nil
 	}
-	if err := plan.realize(); err != nil {
+	if err := plan.realize(ctx); err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, nil // discretization failed: treat T as infeasible
 	}
 	preFF, preLatch := plan.NumUnits()
@@ -108,7 +111,7 @@ func optimizeExtracted(ctx context.Context, r *Region, c *netlist.Circuit, lib *
 	preArea := plan.InsertedArea()
 	replaced := 0
 	if doReplace {
-		replaced = plan.replaceBuffers()
+		replaced = plan.replaceBuffers(ctx)
 	}
 	if vs := plan.Validate(); len(vs) > 0 {
 		return nil, fmt.Errorf("core: final plan invalid: %v", vs[0])

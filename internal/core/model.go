@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -130,6 +131,11 @@ type modelSpec struct {
 	// nSlack lets ModeFixed window indices move by +-nSlack around the
 	// frozen placement's N (used when re-targeting a nearby period).
 	nSlack int
+	// warm, when non-nil, seeds the simplex from a prior solve's basis
+	// (the previous period probe or the previous iteration of the same
+	// loop). Structurally incompatible bases are ignored by the solver,
+	// so callers thread the most recent basis unconditionally.
+	warm *lp.Basis
 }
 
 // modelVars exposes the variables of a built model for solution decoding.
@@ -535,14 +541,18 @@ func unitCostEquivalent(r *Region, kind UnitKind) float64 {
 }
 
 // solveSpec builds and solves the model, returning the decoded variables
-// and solution (nil solution when infeasible).
-func (r *Region) solveSpec(spec *modelSpec) (*modelVars, *lp.Solution, error) {
+// and solution (nil solution when infeasible). Cancelling ctx interrupts
+// branch-and-bound between waves and the simplex between iterations.
+func (r *Region) solveSpec(ctx context.Context, spec *modelSpec) (*modelVars, *lp.Solution, error) {
 	mv, err := r.buildModel(spec)
 	if err != nil {
 		return nil, nil, err
 	}
-	sol, err := mv.m.Solve()
+	sol, err := mv.m.SolveOpts(ctx, lp.SolveOptions{Warm: spec.warm})
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, nil, ctx.Err()
+		}
 		// Iteration/node limits without any incumbent: treat the target
 		// as infeasible rather than aborting the whole flow.
 		if sol != nil && sol.Status == lp.IterLimit {

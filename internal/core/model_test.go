@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"virtualsync/internal/lp"
@@ -87,7 +88,7 @@ func TestSolveSpecInfeasible(t *testing.T) {
 	nE := len(r.Edges)
 	// T=1 is absurd: even a single gate delay exceeds it.
 	spec := &modelSpec{T: 1, opts: DefaultOptions(), modes: make([]EdgeMode, nE)}
-	_, sol, err := r.solveSpec(spec)
+	_, sol, err := r.solveSpec(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}

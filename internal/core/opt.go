@@ -29,6 +29,12 @@ type Plan struct {
 	// SdSet marks the edges that were legalized with the exact model,
 	// reusable as a hint for nearby target periods.
 	SdSet []bool
+
+	// Basis is the optimal simplex basis of the plan's final timing LP.
+	// The period sweep threads it into the next probe's solve the same
+	// way prev carries unit placements, so neighbouring periods start
+	// from an almost-correct basis instead of from scratch.
+	Basis *lp.Basis
 }
 
 // NumUnits counts inserted sequential delay units by kind.
@@ -84,7 +90,7 @@ func gapTol(T float64) float64 { return 1e-6*T + 1e-9 }
 // and the full pipeline runs only if that fails.
 func optimizeRegion(ctx context.Context, r *Region, T float64, opts Options, prev *Plan) (*Plan, error) {
 	if prev != nil {
-		if p, err := retargetPlan(r, T, opts, prev); err != nil {
+		if p, err := retargetPlan(ctx, r, T, opts, prev); err != nil {
 			return nil, err
 		} else if p != nil {
 			return p, nil
@@ -95,9 +101,10 @@ func optimizeRegion(ctx context.Context, r *Region, T float64, opts Options, pre
 }
 
 // retargetPlan re-solves the timing LP with the previous plan's delay
-// units frozen in place (window indices may shift by one). It returns nil
-// when the placements do not transfer to the new period.
-func retargetPlan(r *Region, T float64, opts Options, prev *Plan) (*Plan, error) {
+// units frozen in place (window indices may shift by one) and its basis
+// warm-starting the simplex. It returns nil when the placements do not
+// transfer to the new period.
+func retargetPlan(ctx context.Context, r *Region, T float64, opts Options, prev *Plan) (*Plan, error) {
 	nE := len(r.Edges)
 	spec := &modelSpec{
 		T:      T,
@@ -105,11 +112,12 @@ func retargetPlan(r *Region, T float64, opts Options, prev *Plan) (*Plan, error)
 		modes:  make([]EdgeMode, nE),
 		fixed:  prev.Unit,
 		nSlack: 1,
+		warm:   prev.Basis,
 	}
 	for ei := range spec.modes {
 		spec.modes[ei] = ModeFixed
 	}
-	mv, sol, err := r.solveSpec(spec)
+	mv, sol, err := r.solveSpec(ctx, spec)
 	if err != nil || sol == nil {
 		return nil, err
 	}
@@ -121,6 +129,7 @@ func retargetPlan(r *Region, T float64, opts Options, prev *Plan) (*Plan, error)
 		ChainDelay:   make([]float64, nE),
 		GateDelayReq: make([]float64, len(r.Gates)),
 		SdSet:        prev.SdSet,
+		Basis:        sol.Basis,
 	}
 	for gi := range r.Gates {
 		p.GateDelayReq[gi] = mv.gateDelayOf(sol, gi)
@@ -152,18 +161,23 @@ func optimizeRegionFull(ctx context.Context, r *Region, T float64, opts Options)
 	phaseStart := time.Now()
 	var mv *modelVars
 	var sol *lp.Solution
+	// warm threads the most recent optimal basis through the pipeline's
+	// successive solves; the solver ignores it whenever a spec change
+	// altered the model structure.
+	var warm *lp.Basis
 	inSd := make([]bool, nE)
 	{
 		// Phase 1: sequential-delay emulation (paper eq. 22-24).
 		spec := &modelSpec{T: T, opts: opts, modes: make([]EdgeMode, nE)}
 		var err error
-		mv, sol, err = r.solveSpec(spec)
+		mv, sol, err = r.solveSpec(ctx, spec)
 		if err != nil {
 			return nil, err
 		}
 		if sol == nil {
 			return nil, nil // infeasible at T
 		}
+		warm = sol.Basis
 		inS := make([]bool, nE)
 		maxGap := 0.0
 		for ei := 0; ei < nE; ei++ {
@@ -180,7 +194,7 @@ func optimizeRegionFull(ctx context.Context, r *Region, T float64, opts Options)
 		if maxGap > 0 {
 			lb := T / 2
 			for iter := 0; iter < 6; iter++ {
-				spec := &modelSpec{T: T, opts: opts, modes: make([]EdgeMode, nE), gapLB: lb}
+				spec := &modelSpec{T: T, opts: opts, modes: make([]EdgeMode, nE), gapLB: lb, warm: warm}
 				for ei := range spec.modes {
 					if inS[ei] {
 						spec.modes[ei] = ModeBinary
@@ -191,7 +205,7 @@ func optimizeRegionFull(ctx context.Context, r *Region, T float64, opts Options)
 						spec.modes[ei] = ModePlain
 					}
 				}
-				mv, sol, err := r.solveSpec(spec)
+				mv, sol, err := r.solveSpec(ctx, spec)
 				if err != nil {
 					return nil, err
 				}
@@ -203,6 +217,7 @@ func optimizeRegionFull(ctx context.Context, r *Region, T float64, opts Options)
 					}
 					continue
 				}
+				warm = sol.Basis
 				for ei := range r.Edges {
 					if inS[ei] && sol.Value(mv.x[ei]) > 0.5 {
 						inSd[ei] = true
@@ -263,7 +278,7 @@ func optimizeRegionFull(ctx context.Context, r *Region, T float64, opts Options)
 		if time.Now().After(deadline) {
 			return nil, nil // budget exhausted: treat T as infeasible
 		}
-		spec := &modelSpec{T: T, opts: opts, modes: make([]EdgeMode, nE), fixed: make([]Placement, nE)}
+		spec := &modelSpec{T: T, opts: opts, modes: make([]EdgeMode, nE), fixed: make([]Placement, nE), warm: warm}
 		cur := pending
 		if len(cur) > batch {
 			cur = cur[:batch]
@@ -278,7 +293,7 @@ func optimizeRegionFull(ctx context.Context, r *Region, T float64, opts Options)
 			spec.modes[ei] = ModeFixed
 			spec.fixed[ei] = pl
 		}
-		mv, sol, err := r.solveSpec(spec)
+		mv, sol, err := r.solveSpec(ctx, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -290,7 +305,7 @@ func optimizeRegionFull(ctx context.Context, r *Region, T float64, opts Options)
 					spec.modes[ei] = ModeEmulate
 				}
 			}
-			mv, sol, err = r.solveSpec(spec)
+			mv, sol, err = r.solveSpec(ctx, spec)
 			if err != nil {
 				return nil, err
 			}
@@ -303,7 +318,7 @@ func optimizeRegionFull(ctx context.Context, r *Region, T float64, opts Options)
 					spec.modes[ei] = ModeExact
 				}
 				spec.fixed = make([]Placement, nE)
-				mv, sol, err = r.solveSpec(spec)
+				mv, sol, err = r.solveSpec(ctx, spec)
 				if err != nil {
 					return nil, err
 				}
@@ -330,6 +345,7 @@ func optimizeRegionFull(ctx context.Context, r *Region, T float64, opts Options)
 		}
 		pending = pending[min(len(cur), len(pending)):]
 		finalMV, finalSol = mv, sol
+		warm = sol.Basis
 		// Residual emulation gaps become new legalization candidates.
 		for ei := 0; ei < nE; ei++ {
 			if spec.modes[ei] != ModeEmulate || inSd[ei] {
@@ -362,6 +378,7 @@ func optimizeRegionFull(ctx context.Context, r *Region, T float64, opts Options)
 		p.GateDelayReq[gi] = finalMV.gateDelayOf(finalSol, gi)
 	}
 	p.SdSet = inSd
+	p.Basis = finalSol.Basis
 	for ei := 0; ei < nE; ei++ {
 		p.XiReq[ei] = finalSol.Value(finalMV.xi[ei])
 		if pl, ok := chosen[ei]; ok {

@@ -23,7 +23,7 @@ func planFor(t *testing.T, T float64) *Plan {
 	if p == nil {
 		t.Fatalf("period %g infeasible", T)
 	}
-	if err := p.realize(); err != nil {
+	if err := p.realize(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	return p
@@ -75,7 +75,7 @@ func TestValidateCatchesWrongWindow(t *testing.T) {
 	if err != nil || p == nil {
 		t.Fatalf("optimize: %v %v", p, err)
 	}
-	if err := p.realize(); err != nil {
+	if err := p.realize(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Shift a sequential unit one window off: windows must fail.
@@ -117,7 +117,7 @@ func TestValidateDetectsUncutLoop(t *testing.T) {
 	if err != nil || p == nil {
 		t.Fatalf("optimize: %v %v", p, err)
 	}
-	if err := p.realize(); err != nil {
+	if err := p.realize(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Remove every sequential unit: the loop is no longer cut and

@@ -8,9 +8,11 @@ package expt
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
+	"sync"
 	"time"
 
 	"virtualsync/internal/netlist"
@@ -37,6 +39,12 @@ type Config struct {
 
 	// Progress, when non-nil, receives one line per finished circuit.
 	Progress io.Writer
+
+	// Workers is the number of circuits RunSuite optimizes concurrently
+	// (0 or 1: sequential). Each circuit's pipeline is internally
+	// deterministic, so results and formatted tables are identical for
+	// any worker count.
+	Workers int
 }
 
 // DefaultConfig returns the paper's settings with equivalence checking on.
@@ -166,7 +174,10 @@ func RunCircuit(ctx context.Context, spec gen.Spec, cfg Config) (*CircuitResult,
 }
 
 // RunSuite runs RunCircuit over the named benchmarks (all of the paper's
-// suite when names is empty).
+// suite when names is empty), cfg.Workers circuits at a time. Failing
+// circuits do not abort the suite: the returned slice holds every
+// successful row in suite order and the error joins every per-circuit
+// failure (errors.Join); it is nil only when all circuits succeeded.
 func RunSuite(ctx context.Context, names []string, cfg Config) ([]*CircuitResult, error) {
 	specs := gen.PaperSuite()
 	if len(names) > 0 {
@@ -180,15 +191,57 @@ func RunSuite(ctx context.Context, names []string, cfg Config) ([]*CircuitResult
 		}
 		specs = sel
 	}
-	out := make([]*CircuitResult, 0, len(specs))
-	for _, s := range specs {
-		row, err := RunCircuit(ctx, s, cfg)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, row)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
 	}
-	return out, nil
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+
+	// Progress writers are shared across workers; serialize them.
+	if cfg.Progress != nil {
+		cfg.Progress = &lockedWriter{w: cfg.Progress}
+	}
+
+	rows := make([]*CircuitResult, len(specs))
+	errs := make([]error, len(specs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rows[i], errs[i] = RunCircuit(ctx, specs[i], cfg)
+			}
+		}()
+	}
+	for i := range specs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	out := make([]*CircuitResult, 0, len(specs))
+	for _, r := range rows {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	return out, errors.Join(errs...)
+}
+
+// lockedWriter serializes concurrent progress lines from suite workers.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
 }
 
 // Fig1Result holds the motivating-example period ladder (paper Fig. 1:

@@ -1,7 +1,9 @@
-// Package lp implements a linear-programming solver (two-phase primal
-// simplex with Dantzig pricing and Bland anti-cycling fallback) and a
-// branch-and-bound wrapper for mixed-integer programs. It plays the role
-// of the commercial ILP solver (Gurobi) used in the VirtualSync paper.
+// Package lp implements a linear-programming solver (bounded-variable
+// revised primal simplex over a sparse column form, with Dantzig pricing
+// and a Bland anti-cycling fallback) and a warm-started, optionally
+// parallel branch-and-bound wrapper for mixed-integer programs. It plays
+// the role of the commercial ILP solver (Gurobi) used in the VirtualSync
+// paper.
 //
 // The modelling API supports free, bounded, integer and binary variables,
 // <=, >= and = constraints, and minimization or maximization objectives.
@@ -78,6 +80,12 @@ type Model struct {
 	sense Sense
 	vars  []variable
 	cons  []constraint
+
+	// prob caches the compiled sparse form; dirty marks it stale after a
+	// mutation. Branch-and-bound nodes never mutate the model (they carry
+	// private bound overrides), so one compile serves the whole tree.
+	prob  *problem
+	dirty bool
 }
 
 // NewModel returns an empty minimization model.
@@ -86,7 +94,7 @@ func NewModel(name string) *Model {
 }
 
 // SetSense sets the optimization direction.
-func (m *Model) SetSense(s Sense) { m.sense = s }
+func (m *Model) SetSense(s Sense) { m.sense = s; m.dirty = true }
 
 // NumVars returns the number of variables.
 func (m *Model) NumVars() int { return len(m.vars) }
@@ -98,12 +106,14 @@ func (m *Model) NumConstraints() int { return len(m.cons) }
 // free sides) and objective coefficient obj.
 func (m *Model) AddVar(name string, lb, ub, obj float64) VarID {
 	m.vars = append(m.vars, variable{name: name, lb: lb, ub: ub, obj: obj})
+	m.dirty = true
 	return VarID(len(m.vars) - 1)
 }
 
 // AddIntVar adds an integer variable with bounds [lb, ub].
 func (m *Model) AddIntVar(name string, lb, ub, obj float64) VarID {
 	m.vars = append(m.vars, variable{name: name, lb: lb, ub: ub, obj: obj, integer: true})
+	m.dirty = true
 	return VarID(len(m.vars) - 1)
 }
 
@@ -113,11 +123,12 @@ func (m *Model) AddBinVar(name string, obj float64) VarID {
 }
 
 // SetObj overwrites the objective coefficient of v.
-func (m *Model) SetObj(v VarID, obj float64) { m.vars[v].obj = obj }
+func (m *Model) SetObj(v VarID, obj float64) { m.vars[v].obj = obj; m.dirty = true }
 
 // SetBounds overwrites the bounds of v.
 func (m *Model) SetBounds(v VarID, lb, ub float64) {
 	m.vars[v].lb, m.vars[v].ub = lb, ub
+	m.dirty = true
 }
 
 // Bounds returns the bounds of v.
@@ -140,6 +151,7 @@ func (m *Model) AddConstraint(name string, terms []Term, rel Rel, rhs float64) e
 		rel:   rel,
 		rhs:   rhs,
 	})
+	m.dirty = true
 	return nil
 }
 
@@ -217,6 +229,14 @@ type Solution struct {
 	Status    Status
 	Objective float64
 	Values    []float64 // indexed by VarID
+
+	// Stats holds the solver work counters accumulated over the solve
+	// (for a MIP: summed across all branch-and-bound nodes).
+	Stats Stats
+	// Basis is the optimal simplex basis, usable to warm-start a later
+	// solve of a structurally identical model. Nil when no optimal basis
+	// was reached.
+	Basis *Basis
 }
 
 // Value returns the value of v in the solution.

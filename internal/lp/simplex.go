@@ -1,408 +1,740 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
 
+// Bounded-variable revised simplex.
+//
+// The solver works on the compiled sparse form (see sparse.go): equality
+// rows A x + s = b with every column carrying its own [lb, ub] interval.
+// Nonbasic columns rest at a finite bound (or at zero when free); the m
+// basic columns take whatever values close the equations. The basis
+// inverse is kept as a dense m×m matrix updated by rank-one pivots, while
+// all pricing and FTRAN work runs over the sparse original columns, so a
+// pivot costs O(m²) for the inverse update plus O(nnz) for pricing —
+// never an O(m·n) dense tableau sweep, and no artificial or mirrored
+// columns are ever created.
+//
+// Phase 1 minimizes the total bound violation of the basic variables
+// (the composite method): each basic row contributes sigma_i ∈ {+1, 0, −1}
+// depending on which bound it violates, the pricing vector is
+// y = sigmaᵀ B⁻¹, and the ratio test lets a basic variable *block at the
+// bound it currently violates*, so infeasibilities are worked off
+// monotonically. Phase 2 is the ordinary bounded-variable primal simplex
+// with Dantzig pricing and a Bland fallback for anti-cycling; an entering
+// variable whose own opposite bound gives the tightest ratio simply flips
+// bounds without a basis change.
+
 const (
-	eps     = 1e-9
-	feasTol = 1e-7
+	eps     = 1e-9  // reduced-cost and pivot-eligibility tolerance
+	feasTol = 1e-7  // bound-violation tolerance for basic variables
+	intTol  = 1e-6  // integrality tolerance in branch-and-bound
+	dropTol = 1e-12 // sub-epsilon residues zeroed after row updates
 )
 
-// standardForm is the model rewritten as: minimize c.y, A y = b, y >= 0,
-// b >= 0, with bookkeeping to map solution values back to model variables.
-type standardForm struct {
-	m, n      int         // rows, structural+slack columns
-	nArt      int         // artificial columns (appended after column n-1)
-	rows      [][]float64 // m x (n+nArt+1); last column is rhs
-	cost      []float64   // n+nArt, phase-2 objective (artificial entries zero)
-	c0        float64     // objective constant from variable shifting
-	artBase   int         // index of first artificial column (== n)
-	initBasis []int       // initial basic column per row
+// Column statuses. A nonbasic column's value is implied by its status.
+const (
+	atLower byte = iota // value = lb
+	atUpper             // value = ub
+	atFree              // free nonbasic, value = 0
+	inBasis             // value read from xB
+)
 
-	// colMap[j] describes model variable j: value = shift + sign*y[col]
-	// (- y[neg] for free variables).
-	colMap []varMap
-	flip   bool // true when the model sense was Maximize
+// Stats accumulates solver work counters across a solve (for a MIP,
+// across every branch-and-bound node). They are exposed on Solution so
+// benchmarks can report real pivot counts and warm-start hit rates.
+type Stats struct {
+	Phase1Pivots int // pivots spent restoring feasibility
+	Phase2Pivots int // pivots spent optimizing
+	BoundFlips   int // nonbasic bound-to-bound moves (no basis change)
+	CrashPivots  int // pivots spent re-seating a warm-start basis
+	Nodes        int // branch-and-bound nodes solved
+	WarmStarts   int // solves seeded from a prior basis
+	ColdStarts   int // solves from the all-slack basis
 }
 
-type varMap struct {
-	col   int
-	neg   int // column of the negative part for free variables, else -1
-	shift float64
-	sign  float64
+// Pivots returns the total simplex pivots across both phases (excluding
+// warm-start crash pivots).
+func (s Stats) Pivots() int { return s.Phase1Pivots + s.Phase2Pivots }
+
+// WarmHitRate returns the fraction of solves that were seeded from a
+// prior basis, in [0, 1]. Returns 0 when nothing was solved.
+func (s Stats) WarmHitRate() float64 {
+	total := s.WarmStarts + s.ColdStarts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.WarmStarts) / float64(total)
 }
 
-// build converts the model (with integer restrictions relaxed) into
-// standard form. Variable bounds are encoded by shifting (finite lower
-// bound), mirroring (finite upper bound only), splitting (free), and an
-// extra row for doubly-bounded variables.
-func (m *Model) build() (*standardForm, error) {
-	sf := &standardForm{flip: m.sense == Maximize}
-	sf.colMap = make([]varMap, len(m.vars))
-
-	type boundRow struct {
-		col int
-		rhs float64
-	}
-	var boundRows []boundRow
-	nCols := 0
-	for j, v := range m.vars {
-		if v.lb > v.ub+eps {
-			return nil, fmt.Errorf("lp: variable %q has empty bound range [%g,%g]", v.name, v.lb, v.ub)
-		}
-		switch {
-		case !math.IsInf(v.lb, -1):
-			sf.colMap[j] = varMap{col: nCols, neg: -1, shift: v.lb, sign: 1}
-			if !math.IsInf(v.ub, 1) && v.ub-v.lb > eps {
-				boundRows = append(boundRows, boundRow{nCols, v.ub - v.lb})
-			} else if !math.IsInf(v.ub, 1) {
-				// Fixed variable: pin with an equality-like bound row.
-				boundRows = append(boundRows, boundRow{nCols, 0})
-			}
-			nCols++
-		case !math.IsInf(v.ub, 1):
-			// x = ub - y, y >= 0.
-			sf.colMap[j] = varMap{col: nCols, neg: -1, shift: v.ub, sign: -1}
-			nCols++
-		default:
-			// Free: x = yp - yn.
-			sf.colMap[j] = varMap{col: nCols, neg: nCols + 1, shift: 0, sign: 1}
-			nCols += 2
-		}
-	}
-
-	// Assemble raw rows over standard columns.
-	type rawRow struct {
-		coeffs map[int]float64
-		rel    Rel
-		rhs    float64
-	}
-	raws := make([]rawRow, 0, len(m.cons)+len(boundRows))
-	for _, con := range m.cons {
-		r := rawRow{coeffs: make(map[int]float64), rel: con.rel, rhs: con.rhs}
-		for _, t := range con.terms {
-			vm := sf.colMap[t.Var]
-			r.coeffs[vm.col] += t.Coeff * vm.sign
-			if vm.neg >= 0 {
-				r.coeffs[vm.neg] -= t.Coeff
-			}
-			r.rhs -= t.Coeff * vm.shift
-		}
-		raws = append(raws, r)
-	}
-	for _, br := range boundRows {
-		raws = append(raws, rawRow{coeffs: map[int]float64{br.col: 1}, rel: LE, rhs: br.rhs})
-	}
-
-	mRows := len(raws)
-	slackCount := 0
-	for _, r := range raws {
-		if r.rel != EQ {
-			slackCount++
-		}
-	}
-	nStruct := nCols
-	sf.n = nStruct + slackCount
-	sf.artBase = sf.n
-	sf.m = mRows
-
-	// Decide slack columns and artificial needs; normalize rhs >= 0.
-	type rowPlan struct {
-		slackCol   int // -1 if none
-		slackCoeff float64
-		negate     bool
-		needArt    bool
-	}
-	plans := make([]rowPlan, mRows)
-	slackAt := nStruct
-	for i, r := range raws {
-		p := rowPlan{slackCol: -1}
-		p.negate = r.rhs < 0
-		switch r.rel {
-		case LE:
-			p.slackCol = slackAt
-			p.slackCoeff = 1
-			slackAt++
-		case GE:
-			p.slackCol = slackAt
-			p.slackCoeff = -1
-			slackAt++
-		case EQ:
-			p.needArt = true
-		}
-		if p.negate {
-			p.slackCoeff = -p.slackCoeff
-		}
-		if p.slackCol >= 0 && p.slackCoeff < 0 {
-			p.needArt = true
-		}
-		if p.needArt {
-			sf.nArt++
-		}
-		plans[i] = p
-	}
-
-	total := sf.n + sf.nArt
-	sf.rows = make([][]float64, mRows)
-	sf.initBasis = make([]int, mRows)
-	artAt := sf.artBase
-	for i, r := range raws {
-		p := plans[i]
-		row := make([]float64, total+1)
-		sgn := 1.0
-		if p.negate {
-			sgn = -1
-		}
-		for c, v := range r.coeffs {
-			row[c] = sgn * v
-		}
-		row[total] = sgn * r.rhs
-		if p.slackCol >= 0 {
-			row[p.slackCol] = p.slackCoeff
-		}
-		if p.needArt {
-			row[artAt] = 1
-			sf.initBasis[i] = artAt
-			artAt++
-		} else {
-			sf.initBasis[i] = p.slackCol
-		}
-		sf.rows[i] = row
-	}
-
-	// Objective over standard columns (artificial entries zero).
-	sf.cost = make([]float64, total)
-	for j, v := range m.vars {
-		obj := v.obj
-		if sf.flip {
-			obj = -obj
-		}
-		vm := sf.colMap[j]
-		sf.cost[vm.col] += obj * vm.sign
-		if vm.neg >= 0 {
-			sf.cost[vm.neg] -= obj
-		}
-		sf.c0 += obj * vm.shift
-	}
-	return sf, nil
+func (s *Stats) add(o Stats) {
+	s.Phase1Pivots += o.Phase1Pivots
+	s.Phase2Pivots += o.Phase2Pivots
+	s.BoundFlips += o.BoundFlips
+	s.CrashPivots += o.CrashPivots
+	s.Nodes += o.Nodes
+	s.WarmStarts += o.WarmStarts
+	s.ColdStarts += o.ColdStarts
 }
 
-// tableau is the working state of the simplex method. The cost slice has
-// cols+1 entries; the final entry holds -z (the negated objective value),
-// following the standard full-tableau convention.
-type tableau struct {
-	sf      *standardForm
-	rows    [][]float64
-	cost    []float64
-	basis   []int
-	cols    int
-	banned  []bool // columns excluded from entering (artificials in phase 2)
-	isArt   []bool
+// Basis is a compact snapshot of an optimal simplex basis: one status
+// byte per column (structurals followed by slacks). It is the unit of
+// warm-starting — a later solve of a problem with the same row/column
+// structure can seed from it and typically reaches optimality in a few
+// pivots. A Basis never affects correctness: dimension mismatches are
+// detected and ignored, and a poor seed only costs extra pivots.
+type Basis struct {
+	m, n int
+	stat []byte
+}
+
+// Compatible reports whether the basis can seed a problem with m rows
+// and n total columns.
+func (b *Basis) Compatible(m, n int) bool {
+	return b != nil && b.m == m && b.n == n && len(b.stat) == n
+}
+
+// errCanceled marks a solve interrupted by context cancellation.
+var errCanceled = fmt.Errorf("lp: canceled")
+
+// solver carries the working state of one relaxation solve.
+type solver struct {
+	p      *problem
+	lb, ub []float64 // per-solve bounds (node overrides applied)
+
+	binv  [][]float64 // dense B⁻¹, m×m
+	basis []int32     // column occupying each basic row
+	stat  []byte      // status per column
+	xB    []float64   // values of basic columns, length m
+
+	y     []float64 // pricing scratch, length m
+	alpha []float64 // FTRAN scratch, length m
+
+	iters   int // iterations consumed across both phases
 	maxIter int
+	st      Stats
+
+	ctx context.Context // nil disables cancellation checks
 }
 
-func newTableau(sf *standardForm) *tableau {
-	cols := sf.n + sf.nArt
-	t := &tableau{
-		sf:      sf,
-		rows:    sf.rows,
-		cols:    cols,
-		basis:   append([]int(nil), sf.initBasis...),
-		banned:  make([]bool, cols),
-		isArt:   make([]bool, cols),
-		maxIter: 20000 + 60*(sf.m+cols),
+func newSolver(ctx context.Context, p *problem, lb, ub []float64) *solver {
+	s := &solver{
+		p: p, lb: lb, ub: ub,
+		binv:  make([][]float64, p.m),
+		basis: make([]int32, p.m),
+		stat:  make([]byte, p.n),
+		xB:    make([]float64, p.m),
+		y:     make([]float64, p.m),
+		alpha: make([]float64, p.m),
+		// Generous but finite; the timing LPs need far fewer.
+		maxIter: 20000 + 60*(p.m+p.n),
+		ctx:     ctx,
 	}
-	for c := sf.artBase; c < cols; c++ {
-		t.isArt[c] = true
+	flat := make([]float64, p.m*p.m)
+	for i := range s.binv {
+		s.binv[i] = flat[i*p.m : (i+1)*p.m]
+		s.binv[i][i] = 1
+		s.basis[i] = int32(p.nv + i)
+		s.stat[p.nv+i] = inBasis
 	}
-	return t
+	for j := 0; j < p.nv; j++ {
+		s.stat[j] = s.defaultStat(j)
+	}
+	return s
 }
 
-func (t *tableau) rhs(i int) float64 { return t.rows[i][t.cols] }
-
-// objVal returns the current objective value of the active cost row.
-func (t *tableau) objVal() float64 { return -t.cost[t.cols] }
-
-func (t *tableau) pivot(r, e int) {
-	pr := t.rows[r]
-	inv := 1 / pr[e]
-	for c := range pr {
-		pr[c] *= inv
+// defaultStat picks the resting status of a nonbasic column from its
+// bounds: lower bound first, then upper, then free at zero.
+func (s *solver) defaultStat(j int) byte {
+	switch {
+	case !math.IsInf(s.lb[j], -1):
+		return atLower
+	case !math.IsInf(s.ub[j], 1):
+		return atUpper
+	default:
+		return atFree
 	}
-	pr[e] = 1
-	for i := range t.rows {
+}
+
+// normalizeStat validates a desired nonbasic status against the current
+// bounds, falling back to a legal one (a branch may have removed the
+// bound the column used to rest on).
+func (s *solver) normalizeStat(desired byte, j int) byte {
+	switch desired {
+	case atLower:
+		if !math.IsInf(s.lb[j], -1) {
+			return atLower
+		}
+	case atUpper:
+		if !math.IsInf(s.ub[j], 1) {
+			return atUpper
+		}
+	case atFree:
+		if math.IsInf(s.lb[j], -1) && math.IsInf(s.ub[j], 1) {
+			return atFree
+		}
+	}
+	return s.defaultStat(j)
+}
+
+// nbVal is the value a nonbasic column rests at.
+func (s *solver) nbVal(j int) float64 {
+	switch s.stat[j] {
+	case atLower:
+		return s.lb[j]
+	case atUpper:
+		return s.ub[j]
+	default:
+		return 0
+	}
+}
+
+// recomputeXB rebuilds xB = B⁻¹ (b − A_N x_N) from scratch. Used at
+// solve start and periodically to wash out incremental-update drift.
+func (s *solver) recomputeXB() {
+	p := s.p
+	r := make([]float64, p.m)
+	copy(r, p.b)
+	for j := 0; j < p.n; j++ {
+		if s.stat[j] == inBasis {
+			continue
+		}
+		v := s.nbVal(j)
+		if v == 0 {
+			continue
+		}
+		idx, val := p.colIdx[j], p.colVal[j]
+		for k, row := range idx {
+			r[row] -= val[k] * v
+		}
+	}
+	for i := 0; i < p.m; i++ {
+		row := s.binv[i]
+		sum := 0.0
+		for k, rk := range r {
+			if rk != 0 {
+				sum += row[k] * rk
+			}
+		}
+		s.xB[i] = sum
+	}
+}
+
+// ftran computes alpha = B⁻¹ A_e for the entering column.
+func (s *solver) ftran(e int) {
+	idx, val := s.p.colIdx[e], s.p.colVal[e]
+	for i := 0; i < s.p.m; i++ {
+		row := s.binv[i]
+		sum := 0.0
+		for k, r := range idx {
+			sum += row[r] * val[k]
+		}
+		s.alpha[i] = sum
+	}
+}
+
+// pivotUpdate applies the rank-one basis change: column e enters at row
+// r (alpha already holds B⁻¹A_e). Sub-epsilon multipliers are skipped
+// and sub-epsilon residues zeroed after each row update, so numerical
+// dust neither spreads through B⁻¹ nor creeps into later ratio tests.
+func (s *solver) pivotUpdate(r, e int) {
+	br := s.binv[r]
+	inv := 1 / s.alpha[r]
+	for k, v := range br {
+		if v != 0 {
+			v *= inv
+			if v < dropTol && v > -dropTol {
+				v = 0
+			}
+			br[k] = v
+		}
+	}
+	for i := range s.binv {
 		if i == r {
 			continue
 		}
-		row := t.rows[i]
-		f := row[e]
-		if f == 0 {
+		a := s.alpha[i]
+		if a < dropTol && a > -dropTol {
 			continue
 		}
-		for c := range row {
-			row[c] -= f * pr[c]
+		bi := s.binv[i]
+		for k, w := range br {
+			if w == 0 {
+				continue
+			}
+			v := bi[k] - a*w
+			if v < dropTol && v > -dropTol {
+				v = 0
+			}
+			bi[k] = v
 		}
-		row[e] = 0
 	}
-	if f := t.cost[e]; f != 0 {
-		for c := range t.cost {
-			t.cost[c] -= f * pr[c]
-		}
-		t.cost[e] = 0
-	}
-	t.basis[r] = e
+	s.basis[r] = int32(e)
+	s.stat[e] = inBasis
 }
 
-// priceOut rebuilds the reduced-cost row (and -z cell) for cost vector c
-// over the current basis.
-func (t *tableau) priceOut(c []float64) {
-	t.cost = make([]float64, t.cols+1)
-	copy(t.cost, c)
-	for i, b := range t.basis {
-		cb := c[b]
-		if cb == 0 {
-			continue
-		}
-		row := t.rows[i]
-		for j := range t.cost {
-			t.cost[j] -= cb * row[j]
+// infeasibility returns the total bound violation of the basic variables
+// and records each row's violation direction in sigma.
+func (s *solver) infeasibility(sigma []int8) float64 {
+	w := 0.0
+	for i := 0; i < s.p.m; i++ {
+		j := s.basis[i]
+		v := s.xB[i]
+		if d := v - s.ub[j]; d > feasTol {
+			w += d
+			sigma[i] = 1
+		} else if d := s.lb[j] - v; d > feasTol {
+			w += d
+			sigma[i] = -1
+		} else {
+			sigma[i] = 0
 		}
 	}
-	for _, b := range t.basis {
-		t.cost[b] = 0
-	}
+	return w
 }
 
-// iterate runs simplex pivots until optimality, unboundedness or the
-// iteration limit. ejectArtificials enables the phase-2 rule that pivots
-// out degenerate basic artificials before they can regain a value.
-func (t *tableau) iterate(ejectArtificials bool) Status {
-	blandFrom := t.maxIter / 2
-	for iter := 0; iter < t.maxIter; iter++ {
-		e := t.chooseEntering(iter >= blandFrom)
-		if e == -1 {
-			return Optimal
-		}
-		r := t.chooseLeaving(e, ejectArtificials)
-		if r == -1 {
-			return Unbounded
-		}
-		t.pivot(r, e)
+// price computes the pricing vector y for the current phase:
+// phase 1: y = sigmaᵀ B⁻¹ (gradient of the infeasibility sum);
+// phase 2: y = c_Bᵀ B⁻¹.
+func (s *solver) price(phase1 bool, sigma []int8) {
+	m := s.p.m
+	for k := 0; k < m; k++ {
+		s.y[k] = 0
 	}
-	return IterLimit
-}
-
-func (t *tableau) chooseEntering(bland bool) int {
-	if bland {
-		for c := 0; c < t.cols; c++ {
-			if !t.banned[c] && t.cost[c] < -eps {
-				return c
+	if phase1 {
+		for i := 0; i < m; i++ {
+			sg := sigma[i]
+			if sg == 0 {
+				continue
+			}
+			f := float64(sg)
+			for k, v := range s.binv[i] {
+				if v != 0 {
+					s.y[k] += f * v
+				}
 			}
 		}
-		return -1
+		return
 	}
-	best, bestVal := -1, -eps
-	for c := 0; c < t.cols; c++ {
-		if !t.banned[c] && t.cost[c] < bestVal {
-			bestVal = t.cost[c]
-			best = c
-		}
-	}
-	return best
-}
-
-func (t *tableau) chooseLeaving(e int, ejectArtificials bool) int {
-	bestRow := -1
-	bestRatio := math.Inf(1)
-	for i := 0; i < t.sf.m; i++ {
-		a := t.rows[i][e]
-		if ejectArtificials && t.isArt[t.basis[i]] && t.rhs(i) <= 1e-9 && math.Abs(a) > eps {
-			return i
-		}
-		if a <= eps {
+	for i := 0; i < m; i++ {
+		c := s.p.cost[s.basis[i]]
+		if c == 0 {
 			continue
 		}
-		ratio := t.rhs(i) / a
-		if ratio < bestRatio-eps ||
-			(ratio < bestRatio+eps && (bestRow == -1 || t.basis[i] < t.basis[bestRow])) {
-			bestRatio = ratio
-			bestRow = i
+		for k, v := range s.binv[i] {
+			if v != 0 {
+				s.y[k] += c * v
+			}
 		}
 	}
-	return bestRow
+}
+
+// reducedCost of column j against the current pricing vector. Phase 1
+// has an implicit zero objective row, so d_j = −y·A_j; phase 2 uses
+// d_j = c_j − y·A_j.
+func (s *solver) reducedCost(phase1 bool, j int) float64 {
+	idx, val := s.p.colIdx[j], s.p.colVal[j]
+	dot := 0.0
+	for k, r := range idx {
+		dot += s.y[r] * val[k]
+	}
+	if phase1 {
+		return -dot
+	}
+	return s.p.cost[j] - dot
+}
+
+// eligible reports whether a nonbasic column with reduced cost d may
+// enter, and the direction it would move (+1 increasing, −1 decreasing).
+func (s *solver) eligible(j int, d float64) (int, bool) {
+	switch s.stat[j] {
+	case atLower:
+		if d < -eps {
+			return +1, true
+		}
+	case atUpper:
+		if d > eps {
+			return -1, true
+		}
+	case atFree:
+		if d < -eps {
+			return +1, true
+		}
+		if d > eps {
+			return -1, true
+		}
+	}
+	return 0, false
+}
+
+// chooseEntering scans the nonbasic columns: Dantzig rule (largest
+// reduced-cost magnitude) normally, Bland's rule (first eligible index)
+// once bland is set, which guarantees termination on degenerate cycles.
+func (s *solver) chooseEntering(phase1, bland bool) (e, dir int) {
+	e = -1
+	best := 0.0
+	for j := 0; j < s.p.n; j++ {
+		if s.stat[j] == inBasis {
+			continue
+		}
+		if !math.IsInf(s.lb[j], -1) && s.ub[j]-s.lb[j] <= eps {
+			continue // fixed column can never move
+		}
+		d := s.reducedCost(phase1, j)
+		t, ok := s.eligible(j, d)
+		if !ok {
+			continue
+		}
+		if bland {
+			return j, t
+		}
+		if mag := math.Abs(d); mag > best {
+			best, e, dir = mag, j, t
+		}
+	}
+	return e, dir
+}
+
+// ratioResult describes the outcome of a ratio test.
+type ratioResult struct {
+	kind      byte // 'p' pivot, 'f' bound flip, 'u' unbounded
+	row       int  // leaving row for a pivot
+	theta     float64
+	leaveStat byte // status the leaving column takes
+}
+
+// ratio runs the bounded-variable ratio test for entering column e
+// moving in direction dir (alpha already holds B⁻¹A_e). In phase 1 a
+// basic variable that violates a bound blocks at that violated bound
+// (driving its infeasibility to zero) while feasible basics block at
+// whichever bound they would cross; in phase 2 all basics are within
+// bounds and block normally.
+func (s *solver) ratio(phase1 bool, e, dir int, bland bool) ratioResult {
+	t := float64(dir)
+	// The entering column can at most travel to its own opposite bound.
+	own := math.Inf(1)
+	if !math.IsInf(s.lb[e], -1) && !math.IsInf(s.ub[e], 1) {
+		own = s.ub[e] - s.lb[e]
+	}
+	leave := -1
+	bestTheta := math.Inf(1)
+	bestAbs := 0.0
+	var leaveStat byte
+	for i := 0; i < s.p.m; i++ {
+		a := s.alpha[i]
+		if a <= eps && a >= -eps {
+			continue
+		}
+		delta := -t * a // rate of change of xB[i] per unit of entering
+		j := s.basis[i]
+		v := s.xB[i]
+		var th float64
+		var ls byte
+		switch {
+		case phase1 && v > s.ub[j]+feasTol:
+			// Violating above: blocks only when moving down to ub.
+			if delta >= 0 {
+				continue
+			}
+			th = (v - s.ub[j]) / -delta
+			ls = atUpper
+		case phase1 && v < s.lb[j]-feasTol:
+			// Violating below: blocks only when rising to lb.
+			if delta <= 0 {
+				continue
+			}
+			th = (s.lb[j] - v) / delta
+			ls = atLower
+		case delta > 0:
+			if math.IsInf(s.ub[j], 1) {
+				continue
+			}
+			th = (s.ub[j] - v) / delta
+			ls = atUpper
+		default: // delta < 0
+			if math.IsInf(s.lb[j], -1) {
+				continue
+			}
+			th = (v - s.lb[j]) / -delta
+			ls = atLower
+		}
+		if th < 0 {
+			th = 0
+		}
+		if bland {
+			if th < bestTheta-eps ||
+				(th <= bestTheta+eps && (leave < 0 || j < s.basis[leave])) {
+				leave, leaveStat = i, ls
+				bestTheta = math.Min(th, bestTheta)
+			}
+		} else if th < bestTheta-eps ||
+			(th <= bestTheta+eps && math.Abs(a) > bestAbs) {
+			leave, leaveStat = i, ls
+			bestTheta = math.Min(th, bestTheta)
+			bestAbs = math.Abs(a)
+		}
+	}
+	if own <= bestTheta {
+		if math.IsInf(own, 1) {
+			return ratioResult{kind: 'u'}
+		}
+		return ratioResult{kind: 'f', theta: own}
+	}
+	if leave < 0 {
+		return ratioResult{kind: 'u'}
+	}
+	return ratioResult{kind: 'p', row: leave, theta: bestTheta, leaveStat: leaveStat}
+}
+
+// applyStep moves the entering column by theta, updating xB
+// incrementally, and returns the entering column's new value.
+func (s *solver) applyStep(e, dir int, theta float64) float64 {
+	if theta != 0 {
+		t := float64(dir)
+		for i := 0; i < s.p.m; i++ {
+			a := s.alpha[i]
+			if a > eps || a < -eps {
+				s.xB[i] -= t * a * theta
+			}
+		}
+	}
+	return s.nbVal(e) + float64(dir)*theta
+}
+
+// iterate runs one simplex phase to completion. Returns Optimal when the
+// phase goal is met (phase 1: feasible; phase 2: no eligible entering
+// column), Infeasible (phase 1 only), Unbounded (phase 2 only), or
+// IterLimit. Context cancellation is reported via errCanceled.
+func (s *solver) iterate(phase1 bool) (Status, error) {
+	sigma := make([]int8, s.p.m)
+	sincePivot := 0
+	for {
+		if s.iters >= s.maxIter {
+			return IterLimit, nil
+		}
+		if s.ctx != nil && s.iters%128 == 0 {
+			if err := s.ctx.Err(); err != nil {
+				return IterLimit, errCanceled
+			}
+		}
+		s.iters++
+		bland := s.iters > s.maxIter/2
+
+		if phase1 {
+			if w := s.infeasibility(sigma); w <= feasTol {
+				return Optimal, nil
+			}
+		}
+		s.price(phase1, sigma)
+		e, dir := s.chooseEntering(phase1, bland)
+		if e < 0 {
+			if phase1 {
+				return Infeasible, nil
+			}
+			return Optimal, nil
+		}
+		s.ftran(e)
+		res := s.ratio(phase1, e, dir, bland)
+		switch res.kind {
+		case 'u':
+			if phase1 {
+				// Impossible with a violated blocking bound present;
+				// report infeasible rather than loop on numerical dust.
+				return Infeasible, nil
+			}
+			return Unbounded, nil
+		case 'f':
+			s.applyStep(e, dir, res.theta)
+			if s.stat[e] == atLower {
+				s.stat[e] = atUpper
+			} else {
+				s.stat[e] = atLower
+			}
+			s.st.BoundFlips++
+		case 'p':
+			v := s.applyStep(e, dir, res.theta)
+			leaving := s.basis[res.row]
+			s.pivotUpdate(res.row, e)
+			s.stat[leaving] = res.leaveStat
+			s.xB[res.row] = v
+			if phase1 {
+				s.st.Phase1Pivots++
+			} else {
+				s.st.Phase2Pivots++
+			}
+			sincePivot++
+			if sincePivot >= 64 {
+				s.recomputeXB()
+				sincePivot = 0
+			}
+		}
+	}
+}
+
+// applySeed re-seats a prior basis onto the fresh all-slack state. The
+// seed's nonbasic statuses are adopted directly; each structural column
+// the seed had basic is pivoted into a row still held by a slack the
+// seed wants nonbasic, choosing the largest |alpha| among those rows for
+// stability. Columns that cannot be seated (near-singular alpha) stay
+// nonbasic and phase 1 repairs whatever is left — a degraded seed costs
+// pivots, never correctness. Returns false when the seed does not match
+// the problem shape.
+func (s *solver) applySeed(seed *Basis) bool {
+	p := s.p
+	if !seed.Compatible(p.m, p.n) {
+		return false
+	}
+	avail := make([]bool, p.m)
+	for i := 0; i < p.m; i++ {
+		if seed.stat[p.nv+i] != inBasis {
+			avail[i] = true
+		}
+	}
+	for j := 0; j < p.n; j++ {
+		if seed.stat[j] != inBasis && s.stat[j] != inBasis {
+			s.stat[j] = s.normalizeStat(seed.stat[j], j)
+		}
+	}
+	for j := 0; j < p.nv; j++ {
+		if seed.stat[j] != inBasis {
+			continue
+		}
+		s.ftran(j)
+		best, bestAbs := -1, 1e-7
+		for i := 0; i < p.m; i++ {
+			if !avail[i] {
+				continue
+			}
+			if a := math.Abs(s.alpha[i]); a > bestAbs {
+				best, bestAbs = i, a
+			}
+		}
+		if best < 0 {
+			s.stat[j] = s.normalizeStat(atLower, j)
+			continue
+		}
+		leaving := s.basis[best]
+		s.pivotUpdate(best, j)
+		s.stat[leaving] = s.normalizeStat(seed.stat[leaving], int(leaving))
+		avail[best] = false
+		s.st.CrashPivots++
+	}
+	return true
+}
+
+// snapshotBasis captures the current statuses for later warm starts.
+func (s *solver) snapshotBasis() *Basis {
+	return &Basis{m: s.p.m, n: s.p.n, stat: append([]byte(nil), s.stat...)}
+}
+
+// lpResult is the outcome of one relaxation solve.
+type lpResult struct {
+	status Status
+	obj    float64   // in the model's sense
+	vals   []float64 // structural values, length nv
+	basis  *Basis
+	stats  Stats
+}
+
+// solveLP solves one LP relaxation over the given working bounds,
+// optionally seeded from a prior basis. A nil ctx disables cancellation.
+func solveLP(ctx context.Context, p *problem, lb, ub []float64, seed *Basis) (*lpResult, error) {
+	if p.infeasible {
+		// Singleton-row presolve found crossed bounds at compile time.
+		return &lpResult{status: Infeasible}, nil
+	}
+	s := newSolver(ctx, p, lb, ub)
+	if seed != nil && s.applySeed(seed) {
+		s.st.WarmStarts++
+	} else {
+		s.st.ColdStarts++
+	}
+	s.recomputeXB()
+
+	st, err := s.iterate(true)
+	if err != nil {
+		return &lpResult{status: IterLimit, stats: s.st}, err
+	}
+	switch st {
+	case Infeasible:
+		return &lpResult{status: Infeasible, stats: s.st}, nil
+	case IterLimit:
+		return &lpResult{status: IterLimit, stats: s.st},
+			fmt.Errorf("lp: phase-1 iteration limit (%d)", s.maxIter)
+	}
+
+	st, err = s.iterate(false)
+	if err != nil {
+		return &lpResult{status: IterLimit, stats: s.st}, err
+	}
+	switch st {
+	case Unbounded:
+		return &lpResult{status: Unbounded, stats: s.st}, nil
+	case IterLimit:
+		return &lpResult{status: IterLimit, stats: s.st},
+			fmt.Errorf("lp: phase-2 iteration limit (%d)", s.maxIter)
+	}
+
+	// Settle drift accumulated since the last periodic refresh before
+	// extracting values.
+	s.recomputeXB()
+	vals := make([]float64, p.nv)
+	for j := 0; j < p.nv; j++ {
+		if s.stat[j] != inBasis {
+			vals[j] = s.nbVal(j)
+		}
+	}
+	for i, bc := range s.basis {
+		if int(bc) < p.nv {
+			v := s.xB[i]
+			// Snap sub-tolerance overshoot onto the bound.
+			if l := lb[bc]; v < l && v > l-feasTol {
+				v = l
+			}
+			if u := ub[bc]; v > u && v < u+feasTol {
+				v = u
+			}
+			vals[bc] = v
+		}
+	}
+	obj := 0.0
+	for j, c := range p.cost[:p.nv] {
+		if c != 0 {
+			obj += c * vals[j]
+		}
+	}
+	if p.flip {
+		obj = -obj
+	}
+	return &lpResult{
+		status: Optimal,
+		obj:    obj,
+		vals:   vals,
+		basis:  s.snapshotBasis(),
+		stats:  s.st,
+	}, nil
+}
+
+func (r *lpResult) toSolution() *Solution {
+	sol := &Solution{Status: r.status, Stats: r.stats, Basis: r.basis}
+	if r.status == Optimal {
+		sol.Objective = r.obj
+		sol.Values = r.vals
+	}
+	return sol
 }
 
 // SolveRelaxation solves the LP relaxation of the model (integrality
 // dropped).
 func (m *Model) SolveRelaxation() (*Solution, error) {
-	sf, err := m.build()
+	p, err := m.compile()
 	if err != nil {
 		return nil, err
 	}
-	t := newTableau(sf)
-
-	// Phase 1: minimize the sum of artificials.
-	if sf.nArt > 0 {
-		phase1 := make([]float64, t.cols)
-		for c := sf.artBase; c < t.cols; c++ {
-			phase1[c] = 1
-		}
-		t.priceOut(phase1)
-		switch t.iterate(false) {
-		case IterLimit:
-			return &Solution{Status: IterLimit}, fmt.Errorf("lp: phase-1 iteration limit")
-		case Unbounded:
-			return nil, fmt.Errorf("lp: phase-1 unbounded (internal error)")
-		}
-		if t.objVal() > feasTol {
-			return &Solution{Status: Infeasible}, nil
-		}
-		for c := sf.artBase; c < t.cols; c++ {
-			t.banned[c] = true
-		}
-		// Drive out basic artificials sitting at level zero.
-		for i, b := range t.basis {
-			if !t.isArt[b] {
-				continue
-			}
-			for c := 0; c < sf.artBase; c++ {
-				if math.Abs(t.rows[i][c]) > 1e-7 {
-					t.pivot(i, c)
-					break
-				}
-			}
-		}
-	}
-
-	// Phase 2: minimize the real objective.
-	t.priceOut(sf.cost)
-	status := t.iterate(true)
-	switch status {
-	case IterLimit:
-		return &Solution{Status: IterLimit}, fmt.Errorf("lp: phase-2 iteration limit")
-	case Unbounded:
-		return &Solution{Status: Unbounded}, nil
-	}
-
-	// Extract standard-column values, then map to model variables.
-	y := make([]float64, t.cols)
-	for i, b := range t.basis {
-		y[b] = t.rhs(i)
-	}
-	vals := make([]float64, len(m.vars))
-	for j := range m.vars {
-		vm := sf.colMap[j]
-		v := vm.shift + vm.sign*y[vm.col]
-		if vm.neg >= 0 {
-			v -= y[vm.neg]
-		}
-		vals[j] = v
-	}
-	obj := t.objVal() + sf.c0
-	if sf.flip {
-		obj = -obj
-	}
-	return &Solution{Status: Optimal, Objective: obj, Values: vals}, nil
+	lb, ub := p.defaultBounds()
+	res, lerr := solveLP(nil, p, lb, ub, nil)
+	return res.toSolution(), lerr
 }

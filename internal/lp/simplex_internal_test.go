@@ -5,81 +5,210 @@ import (
 	"testing"
 )
 
-// These tests exercise the standard-form construction details directly.
+// These tests exercise the compiled sparse form and solver internals
+// directly.
 
-func TestBuildShiftsFiniteLowerBounds(t *testing.T) {
+func TestCompileBoxedVariableAddsNoExtraRows(t *testing.T) {
 	m := NewModel("b")
 	x := m.AddVar("x", -3, 7, 1)
-	m.MustConstrain("c", []Term{{x, 1}}, GE, -1)
-	sf, err := m.build()
+	y := m.AddVar("y", 0, 2, 1)
+	m.MustConstrain("c", []Term{{x, 1}, {y, 1}}, GE, -1)
+	p, err := m.compile()
 	if err != nil {
 		t.Fatal(err)
 	}
-	vm := sf.colMap[x]
-	if vm.shift != -3 || vm.sign != 1 || vm.neg != -1 {
-		t.Fatalf("colMap = %+v", vm)
+	// The whole point of the bounded-variable form: a boxed variable is
+	// just a column with finite bounds — no bound row, no mirror column.
+	if p.m != 1 {
+		t.Fatalf("rows = %d, want 1 (bounds must not add rows)", p.m)
 	}
-	// Doubly bounded: a bound row was added.
-	if sf.m != 2 {
-		t.Fatalf("rows = %d, want constraint + bound row", sf.m)
+	if p.n != 3 { // x, y + one slack
+		t.Fatalf("cols = %d, want 3", p.n)
+	}
+	if p.lb[x] != -3 || p.ub[x] != 7 {
+		t.Fatalf("bounds = [%g,%g]", p.lb[x], p.ub[x])
 	}
 }
 
-func TestBuildMirrorsUpperOnlyBounds(t *testing.T) {
+func TestCompileSlackBoundsEncodeRelations(t *testing.T) {
 	m := NewModel("b")
-	x := m.AddVar("x", math.Inf(-1), 5, 1)
-	m.MustConstrain("c", []Term{{x, 1}}, LE, 4)
-	sf, err := m.build()
+	x := m.AddVar("x", 0, Inf, 1)
+	y := m.AddVar("y", 0, Inf, 0)
+	m.MustConstrain("le", []Term{{x, 1}, {y, 1}}, LE, 4)
+	m.MustConstrain("ge", []Term{{x, 1}, {y, 1}}, GE, 1)
+	m.MustConstrain("eq", []Term{{x, 1}, {y, 1}}, EQ, 2)
+	p, err := m.compile()
 	if err != nil {
 		t.Fatal(err)
 	}
-	vm := sf.colMap[x]
-	if vm.shift != 5 || vm.sign != -1 || vm.neg != -1 {
-		t.Fatalf("colMap = %+v", vm)
+	sc := p.nv
+	if p.lb[sc] != 0 || !math.IsInf(p.ub[sc], 1) {
+		t.Fatalf("LE slack bounds [%g,%g]", p.lb[sc], p.ub[sc])
+	}
+	if !math.IsInf(p.lb[sc+1], -1) || p.ub[sc+1] != 0 {
+		t.Fatalf("GE slack bounds [%g,%g]", p.lb[sc+1], p.ub[sc+1])
+	}
+	if p.lb[sc+2] != 0 || p.ub[sc+2] != 0 {
+		t.Fatalf("EQ slack bounds [%g,%g]", p.lb[sc+2], p.ub[sc+2])
 	}
 }
 
-func TestBuildSplitsFreeVariables(t *testing.T) {
+func TestPresolveFoldsSingletonRows(t *testing.T) {
 	m := NewModel("b")
-	x := m.AddVar("x", math.Inf(-1), Inf, 1)
-	m.MustConstrain("c", []Term{{x, 1}}, EQ, -2)
-	sf, err := m.build()
+	x := m.AddVar("x", 0, Inf, 1)
+	m.MustConstrain("ub", []Term{{x, 1}}, LE, 9)
+	m.MustConstrain("lb", []Term{{x, -1}}, LE, -2) // -x <= -2  =>  x >= 2
+	p, err := m.compile()
 	if err != nil {
 		t.Fatal(err)
 	}
-	vm := sf.colMap[x]
-	if vm.neg < 0 || vm.sign != 1 || vm.shift != 0 {
-		t.Fatalf("colMap = %+v", vm)
+	if p.m != 0 {
+		t.Fatalf("singleton rows kept: m = %d", p.m)
 	}
-	if sf.nArt != 1 {
-		t.Fatalf("equality row needs an artificial, got %d", sf.nArt)
+	if p.lb[x] != 2 || p.ub[x] != 9 {
+		t.Fatalf("folded bounds = [%g,%g], want [2,9]", p.lb[x], p.ub[x])
+	}
+	sol, err := m.Solve()
+	if err != nil || sol.Status != Optimal || math.Abs(sol.Value(x)-2) > 1e-9 {
+		t.Fatalf("solve: %+v %v", sol, err)
 	}
 }
 
-func TestBuildRejectsEmptyRange(t *testing.T) {
+func TestPresolveDetectsCrossedSingletonBounds(t *testing.T) {
+	m := NewModel("b")
+	x := m.AddVar("x", 0, Inf, 1)
+	m.MustConstrain("lo", []Term{{x, 1}}, GE, 6)
+	m.MustConstrain("hi", []Term{{x, 1}}, LE, 5)
+	sol, err := m.Solve()
+	if err != nil || sol.Status != Infeasible {
+		t.Fatalf("want Infeasible, got %+v %v", sol, err)
+	}
+}
+
+func TestCompileCachedUntilMutation(t *testing.T) {
+	m := NewModel("b")
+	x := m.AddVar("x", 0, 1, 1)
+	m.MustConstrain("c", []Term{{x, 1}}, LE, 5)
+	p1, err := m.compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := m.compile()
+	if p1 != p2 {
+		t.Fatal("compile not cached across calls")
+	}
+	m.SetBounds(x, 0, 2)
+	p3, _ := m.compile()
+	if p3 == p1 {
+		t.Fatal("compile cache not invalidated by SetBounds")
+	}
+	if p3.ub[x] != 2 {
+		t.Fatalf("recompiled ub = %g", p3.ub[x])
+	}
+}
+
+func TestCompileRejectsEmptyRange(t *testing.T) {
 	m := NewModel("b")
 	m.AddVar("x", 3, 1, 0)
-	if _, err := m.build(); err == nil {
+	if _, err := m.compile(); err == nil {
 		t.Fatal("empty range accepted")
 	}
 }
 
-func TestNegatedRowsGetArtificials(t *testing.T) {
-	// x <= -5 with x >= 0 shifted: the LE row with negative rhs flips to a
-	// >=-style row, which needs an artificial.
+func TestMaximizeNegatesCompiledCost(t *testing.T) {
 	m := NewModel("b")
-	x := m.AddVar("x", 0, Inf, 1)
-	m.MustConstrain("c", []Term{{x, -1}}, LE, -5) // -x <= -5  =>  x >= 5
-	sf, err := m.build()
+	m.SetSense(Maximize)
+	x := m.AddVar("x", 0, 1, 3)
+	m.MustConstrain("c", []Term{{x, 1}}, LE, 1)
+	p, err := m.compile()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sf.nArt != 1 {
-		t.Fatalf("nArt = %d, want 1", sf.nArt)
+	if !p.flip || p.cost[x] != -3 {
+		t.Fatalf("flip=%v cost=%g", p.flip, p.cost[x])
 	}
-	sol, err := m.Solve()
-	if err != nil || sol.Status != Optimal || math.Abs(sol.Value(x)-5) > 1e-6 {
-		t.Fatalf("solve: %v %v", sol, err)
+}
+
+func TestPivotUpdateZeroesResidues(t *testing.T) {
+	// One row, entering column with coefficient 2: after the pivot the
+	// basis inverse must hold exactly 0.5 and any sub-dropTol dust in
+	// other entries must be flushed to zero.
+	m := NewModel("b")
+	x := m.AddVar("x", 0, Inf, 1)
+	y := m.AddVar("y", 0, Inf, 1)
+	m.MustConstrain("c1", []Term{{x, 2}, {y, 1}}, LE, 4)
+	m.MustConstrain("c2", []Term{{x, 1}, {y, 3}}, LE, 6)
+	p, err := m.compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, ub := p.defaultBounds()
+	s := newSolver(nil, p, lb, ub)
+	s.recomputeXB()
+	// Seed dust into B⁻¹ that a pivot touching that row must clear.
+	s.binv[1][0] = dropTol / 2
+	s.ftran(int(x))
+	s.pivotUpdate(0, int(x))
+	if s.binv[0][0] != 0.5 {
+		t.Fatalf("binv[0][0] = %g, want 0.5", s.binv[0][0])
+	}
+	for i := range s.binv {
+		for k, v := range s.binv[i] {
+			if v != 0 && math.Abs(v) < dropTol {
+				t.Fatalf("sub-epsilon residue binv[%d][%d] = %g survived", i, k, v)
+			}
+		}
+	}
+}
+
+func TestBasisRoundTripSolvesInZeroPhase1Pivots(t *testing.T) {
+	// Re-solving the identical problem from its own optimal basis should
+	// need no phase-1 pivots at all.
+	m := NewModel("b")
+	x := m.AddVar("x", 0, 10, -1)
+	y := m.AddVar("y", 0, 10, -2)
+	m.MustConstrain("c1", []Term{{x, 1}, {y, 1}}, LE, 12)
+	m.MustConstrain("c2", []Term{{x, 1}, {y, 3}}, LE, 30)
+	p, err := m.compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, ub := p.defaultBounds()
+	cold, err := solveLP(nil, p, lb, ub, nil)
+	if err != nil || cold.status != Optimal {
+		t.Fatalf("cold solve: %v %v", cold, err)
+	}
+	warm, err := solveLP(nil, p, lb, ub, cold.basis)
+	if err != nil || warm.status != Optimal {
+		t.Fatalf("warm solve: %v %v", warm, err)
+	}
+	if warm.stats.WarmStarts != 1 {
+		t.Fatalf("warm start not taken: %+v", warm.stats)
+	}
+	if warm.stats.Phase1Pivots != 0 {
+		t.Fatalf("phase-1 pivots on a round-trip basis: %+v", warm.stats)
+	}
+	if math.Abs(warm.obj-cold.obj) > 1e-9 {
+		t.Fatalf("objectives differ: %g vs %g", warm.obj, cold.obj)
+	}
+}
+
+func TestIncompatibleSeedIgnored(t *testing.T) {
+	m := NewModel("b")
+	x := m.AddVar("x", 0, 1, 1)
+	m.MustConstrain("c", []Term{{x, 1}}, LE, 1)
+	p, err := m.compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, ub := p.defaultBounds()
+	bad := &Basis{m: 99, n: 99, stat: make([]byte, 99)}
+	res, err := solveLP(nil, p, lb, ub, bad)
+	if err != nil || res.status != Optimal {
+		t.Fatalf("solve with bad seed: %v %v", res, err)
+	}
+	if res.stats.WarmStarts != 0 || res.stats.ColdStarts != 1 {
+		t.Fatalf("bad seed was not ignored: %+v", res.stats)
 	}
 }
 

@@ -1,0 +1,163 @@
+package lp
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// timingLP builds a randomized chain-of-difference-constraints LP shaped
+// like the emulation model: free arrival variables, boxed padding
+// variables with random positive cost, chain rows
+// s_i - s_{i-1} + pad_i >= d_i and tight per-node deadlines. The
+// deadline slope (6) sits below the mean stage delay, so the optimum
+// genuinely buys padding on the deficit stages and the LP pivots.
+func timingLP(rng *rand.Rand, n int) (*Model, []VarID) {
+	m := NewModel("timing")
+	prev := m.AddVar("s0", 0, 0, 0)
+	var pads []VarID
+	for i := 1; i < n; i++ {
+		s := m.AddVar("s", -Inf, Inf, 0)
+		pad := m.AddVar("p", 0, 8, 1+rng.Float64())
+		pads = append(pads, pad)
+		d := 4 + 5*rng.Float64()
+		m.MustConstrain("c", []Term{{s, 1}, {prev, -1}, {pad, 1}}, GE, d)
+		m.MustConstrain("u", []Term{{s, 1}}, LE, 6*float64(i)+5)
+		prev = s
+	}
+	return m, pads
+}
+
+// TestWarmVsColdObjectives cross-checks warm-started solves against cold
+// solves on randomized timing-shaped LPs after tightening a few variable
+// bounds, the way a branch-and-bound child or a re-probed period does.
+func TestWarmVsColdObjectives(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m, pads := timingLP(rng, 40)
+		cold1, err := m.Solve()
+		if err != nil || cold1.Status != Optimal {
+			t.Fatalf("seed %d: base solve: %+v %v", seed, cold1, err)
+		}
+		if cold1.Basis == nil {
+			t.Fatalf("seed %d: optimal solve returned no basis", seed)
+		}
+
+		// Tighten a few pad upper bounds (still feasible: pads can be 0).
+		for k := 0; k < 3; k++ {
+			v := pads[rng.Intn(len(pads))]
+			lb, ub := m.Bounds(v)
+			m.SetBounds(v, lb, ub/2)
+		}
+		cold2, err := m.SolveOpts(context.Background(), SolveOptions{})
+		if err != nil || cold2.Status != Optimal {
+			t.Fatalf("seed %d: cold re-solve: %+v %v", seed, cold2, err)
+		}
+		warm2, err := m.SolveOpts(context.Background(), SolveOptions{Warm: cold1.Basis})
+		if err != nil || warm2.Status != Optimal {
+			t.Fatalf("seed %d: warm re-solve: %+v %v", seed, warm2, err)
+		}
+		if warm2.Stats.WarmStarts == 0 {
+			t.Fatalf("seed %d: warm seed was not used: %+v", seed, warm2.Stats)
+		}
+		if math.Abs(warm2.Objective-cold2.Objective) > 1e-6 {
+			t.Fatalf("seed %d: warm %.9f vs cold %.9f", seed, warm2.Objective, cold2.Objective)
+		}
+		if warm2.Stats.Pivots() > cold2.Stats.Pivots() {
+			t.Logf("seed %d: warm took more pivots (%d) than cold (%d)",
+				seed, warm2.Stats.Pivots(), cold2.Stats.Pivots())
+		}
+	}
+}
+
+// timingILP adds binary case-selection variables coupled to the paddings
+// through big-M rows, shaped like the legalization ILP: padding an edge
+// beyond a small free allowance requires enabling its delay unit, so the
+// relaxation sets the binaries fractional and branch-and-bound has to
+// work. Random continuous costs make the optimum unique with probability
+// 1, so solutions (not just objectives) must agree across
+// configurations.
+func timingILP(rng *rand.Rand, n int) (*Model, []VarID) {
+	m, pads := timingLP(rng, n)
+	var bins []VarID
+	for _, pad := range pads {
+		b := m.AddBinVar("b", 1+rng.Float64())
+		bins = append(bins, b)
+		m.MustConstrain("link", []Term{{pad, 1}, {b, -8}}, LE, 0.5+rng.Float64())
+	}
+	return m, bins
+}
+
+// TestParallelBnBMatchesSequential asserts Workers: 4 branch-and-bound
+// returns the same integral incumbent as Workers: 1 on randomized
+// legalization-shaped ILPs.
+func TestParallelBnBMatchesSequential(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m, bins := timingILP(rng, 25)
+		seq, err := m.SolveOpts(context.Background(), SolveOptions{Workers: 1})
+		if err != nil || seq.Status != Optimal {
+			t.Fatalf("seed %d: sequential: %+v %v", seed, seq, err)
+		}
+		par, err := m.SolveOpts(context.Background(), SolveOptions{Workers: 4})
+		if err != nil || par.Status != Optimal {
+			t.Fatalf("seed %d: parallel: %+v %v", seed, par, err)
+		}
+		if math.Abs(seq.Objective-par.Objective) > 1e-6 {
+			t.Fatalf("seed %d: objectives differ: %.9f vs %.9f", seed, seq.Objective, par.Objective)
+		}
+		for _, b := range bins {
+			if seq.Value(b) != par.Value(b) {
+				t.Fatalf("seed %d: incumbent binaries differ on %d: %g vs %g",
+					seed, b, seq.Value(b), par.Value(b))
+			}
+		}
+		if par.Stats.Nodes == 0 {
+			t.Fatalf("seed %d: no nodes recorded: %+v", seed, par.Stats)
+		}
+	}
+}
+
+// TestBnBWarmStartHitRate checks that branch-and-bound children actually
+// reuse their parent's basis: every node after the root should be seeded.
+func TestBnBWarmStartHitRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, _ := timingILP(rng, 25)
+	sol, err := m.Solve()
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("solve: %+v %v", sol, err)
+	}
+	if sol.Stats.Nodes < 3 {
+		t.Fatalf("tree unexpectedly small, warm starts unexercised: %+v", sol.Stats)
+	}
+	// Every child node carries its parent's basis; only the root (and
+	// any node whose seed was incompatible) solves cold.
+	if got := sol.Stats.WarmHitRate(); got < 0.5 {
+		t.Fatalf("warm-start hit rate %.2f too low: %+v", got, sol.Stats)
+	}
+}
+
+// TestSolveCtxCancellation verifies that a cancelled context interrupts
+// the solve instead of waiting out the internal 5 s deadline.
+func TestSolveCtxCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, _ := timingILP(rng, 30)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.SolveCtx(ctx); err == nil {
+		t.Fatal("cancelled context did not interrupt Solve")
+	}
+}
+
+// TestSolveOptsTimeBudget exercises the configurable wall-time budget
+// path (previously a hard-coded 5 s constant).
+func TestSolveOptsTimeBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m, _ := timingILP(rng, 25)
+	sol, err := m.SolveOpts(context.Background(), SolveOptions{TimeBudget: time.Minute})
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("solve with budget: %+v %v", sol, err)
+	}
+}
