@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-lp
+.PHONY: check fmt vet build test race cover fuzz-short bench bench-lp
 
 # The full pre-commit gate: formatting, vet, build, the whole test
-# suite, and the race detector over every parallel subsystem (Monte
-# Carlo engine, branch-and-bound, suite runner).
-check: fmt vet build test race
+# suite, the race detector over every package, coverage floors, and a
+# short differential-fuzzing pass with regression replay.
+check: fmt vet build test race cover fuzz-short
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -20,9 +20,43 @@ build:
 test:
 	$(GO) test ./...
 
+# Race-instrumented run of the whole module. The LP branch-and-bound
+# time budget auto-scales under the race build tag (internal/lp/race_on.go)
+# so wall-clock slowdown does not change feasibility results.
 race:
-	$(GO) test -race ./internal/variation/...
-	$(GO) test -race -short ./internal/lp/... ./internal/expt/...
+	$(GO) test -race ./...
+
+# Per-package coverage with floors on the load-bearing packages; a drop
+# below any floor fails the build. Floors are a few points under the
+# current numbers to absorb noise, not to excuse regressions.
+COVER_FLOORS = internal/core:80 internal/lp:85 internal/verify:78 internal/gen:75 internal/sim:85
+
+cover:
+	@fail=0; \
+	for spec in $(COVER_FLOORS); do \
+		pkg=$${spec%:*}; floor=$${spec#*:}; \
+		line=$$($(GO) test -cover ./$$pkg 2>&1 | tail -1); \
+		pct=$$(echo "$$line" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "$$pkg: no coverage reported"; echo "$$line"; fail=1; continue; fi; \
+		ok=$$(awk "BEGIN{print ($$pct >= $$floor) ? 1 : 0}"); \
+		if [ "$$ok" = 1 ]; then \
+			echo "cover $$pkg: $$pct% (floor $$floor%)"; \
+		else \
+			echo "cover $$pkg: $$pct% BELOW FLOOR $$floor%"; fail=1; \
+		fi; \
+	done; exit $$fail
+
+# Short continuous-fuzzing pass: each native target gets ~20s of input
+# generation (one target per go test invocation, as the fuzzer requires),
+# then every stored regression seed is replayed, including re-injecting
+# the mutation each sensitivity seed was recorded from.
+FUZZTIME ?= 20s
+
+fuzz-short:
+	$(GO) test ./internal/verify -run '^$$' -fuzz FuzzOptimizeEquivalence -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/verify -run '^$$' -fuzz FuzzLegalize -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/verify -run '^$$' -fuzz FuzzDiscretize -fuzztime $(FUZZTIME)
+	$(GO) run ./cmd/vfuzz replay internal/verify/testdata/regressions
 
 # Regenerate every paper table/figure (writes results/).
 bench:
@@ -33,4 +67,4 @@ bench:
 # in the benchmark metrics).
 bench-lp:
 	$(GO) test -json -run '^$$' -bench 'LPSolve|SuiteParallel' -benchmem . > BENCH_lp.json
-	@grep -o '"Output":"Benchmark[^"]*' BENCH_lp.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_lp.json | sed 's/\"Output\":\"//;s/\\t/\t/g;s/\\n//' || true

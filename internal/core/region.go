@@ -147,6 +147,7 @@ func Extract(c *netlist.Circuit, lib *celllib.Library, opts ExtractOptions) (*Re
 	// region re-sizing never disturbs external timing.
 	fanouts := work.Fanouts()
 	affected := make(map[netlist.NodeID]bool)
+	grown := make(map[netlist.NodeID]bool)
 	var grow func(id netlist.NodeID)
 	grow = func(id netlist.NodeID) {
 		for _, reader := range fanouts[id] {
@@ -158,7 +159,14 @@ func Extract(c *netlist.Circuit, lib *celllib.Library, opts ExtractOptions) (*Re
 					grow(reader)
 				}
 			case rn.Kind == netlist.KindDFF && r.removedSet[reader]:
-				grow(reader)
+				// grown guards against rings of removed flip-flops (e.g. a
+				// register-only feedback loop): without it the walk recurses
+				// forever; traceBack rejects such rings with a proper error
+				// later.
+				if !grown[reader] {
+					grown[reader] = true
+					grow(reader)
+				}
 			}
 		}
 	}

@@ -1,0 +1,127 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"virtualsync/internal/netlist"
+)
+
+func TestDecodeCaseDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		data := make([]byte, rng.Intn(120))
+		rng.Read(data)
+		a, errA := DecodeCase(data)
+		b, errB := DecodeCase(data)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("case %d: nondeterministic error: %v vs %v", i, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		if a.Circuit.String() != b.Circuit.String() {
+			t.Fatalf("case %d: same bytes decoded to different circuits", i)
+		}
+		ka, kb := *a, *b
+		ka.Circuit, kb.Circuit = nil, nil
+		if ka != kb {
+			t.Fatalf("case %d: same bytes decoded to different knobs: %+v vs %+v", i, ka, kb)
+		}
+	}
+}
+
+func TestDecodeCaseStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	decoded := 0
+	for i := 0; i < 300; i++ {
+		data := make([]byte, rng.Intn(160))
+		rng.Read(data)
+		d, err := DecodeCase(data)
+		if err != nil {
+			continue
+		}
+		decoded++
+		c := d.Circuit
+		if err := c.Validate(); err != nil {
+			t.Fatalf("case %d: invalid circuit: %v", i, err)
+		}
+		if _, err := c.TopoOrder(); err != nil {
+			t.Fatalf("case %d: not schedulable: %v", i, err)
+		}
+		st := c.Stats()
+		if st.DFFs == 0 || st.Outputs == 0 || st.Inputs < 2 {
+			t.Fatalf("case %d: degenerate circuit: %+v", i, st)
+		}
+		if st.Gates > decMaxGates+4 || st.DFFs > decMaxFFs+4 {
+			t.Fatalf("case %d: size cap exceeded: %+v", i, st)
+		}
+		if d.Cycles < 24 || d.Cycles > 40 || d.TFrac < 0 || d.TFrac > 0.12 {
+			t.Fatalf("case %d: knobs out of range: %+v", i, d)
+		}
+	}
+	if decoded < 250 {
+		t.Fatalf("only %d/300 byte strings decoded — decoder rejects too much", decoded)
+	}
+	// The empty input must decode to the minimal default case.
+	if _, err := DecodeCase(nil); err != nil {
+		t.Fatalf("empty input failed to decode: %v", err)
+	}
+}
+
+func liveCount(c *netlist.Circuit) int {
+	n := 0
+	c.Live(func(*netlist.Node) { n++ })
+	return n
+}
+
+func TestShrinkSteps(t *testing.T) {
+	d, err := DecodeCase([]byte{200, 1, 7, 2, 3, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.Circuit
+	steps := ShrinkSteps(c)
+	if len(steps) < 10 {
+		t.Fatalf("only %d shrink steps enumerated", len(steps))
+	}
+	// Step names are unique and the enumeration is deterministic.
+	names := map[string]bool{}
+	for _, s := range steps {
+		if names[s.Name] {
+			t.Fatalf("duplicate step %q", s.Name)
+		}
+		names[s.Name] = true
+	}
+	again := ShrinkSteps(c)
+	for i := range steps {
+		if steps[i].Name != again[i].Name {
+			t.Fatalf("step %d changed name across enumerations: %q vs %q",
+				i, steps[i].Name, again[i].Name)
+		}
+	}
+	// Every admissible step yields a structurally valid, no-larger circuit;
+	// the original is never mutated.
+	before := c.String()
+	applied := 0
+	for _, s := range steps {
+		cc := c.Clone()
+		if err := s.Apply(cc); err != nil {
+			continue
+		}
+		applied++
+		if err := cc.Validate(); err != nil {
+			t.Fatalf("step %q broke the circuit: %v", s.Name, err)
+		}
+		if liveCount(cc) > liveCount(c)+1 {
+			// +1: constifying may add one constant driver node.
+			t.Fatalf("step %q grew the circuit", s.Name)
+		}
+	}
+	if applied < len(steps)/2 {
+		t.Fatalf("only %d/%d steps admissible", applied, len(steps))
+	}
+	if c.String() != before {
+		t.Fatal("ShrinkSteps application mutated the original circuit")
+	}
+}

@@ -1,0 +1,106 @@
+package gen
+
+// Shrink hooks for the differential fuzzing harness: given a failing
+// circuit, enumerate deterministic candidate simplifications. The
+// shrinker in internal/verify applies each candidate to a clone and
+// keeps it only when the failure reproduces, so the steps here just have
+// to preserve structural validity — they carry no knowledge of what went
+// wrong. Node IDs are stable across netlist.Clone, which lets a step
+// captured against the current circuit apply to any clone of it.
+
+import (
+	"fmt"
+
+	"virtualsync/internal/netlist"
+)
+
+// ShrinkStep is one candidate simplification. Apply mutates the given
+// circuit (normally a clone) in place and returns an error when the
+// candidate is structurally inadmissible — e.g. collapsing a loop
+// register would create a combinational cycle.
+type ShrinkStep struct {
+	Name  string
+	Apply func(c *netlist.Circuit) error
+}
+
+// ShrinkSteps enumerates candidate simplifications of c, coarsest first:
+// dropping whole output cones, then collapsing registers, then collapsing
+// combinational gates onto each fanin, then pinning primary inputs to
+// constants. Every step ends with dead-logic pruning and a structural
+// re-check. The order and content are deterministic functions of c.
+func ShrinkSteps(c *netlist.Circuit) []ShrinkStep {
+	finish := func(cc *netlist.Circuit) error {
+		cc.PruneDead()
+		if err := cc.Validate(); err != nil {
+			return err
+		}
+		_, err := cc.TopoOrder()
+		return err
+	}
+
+	var steps []ShrinkStep
+	if outs := c.Outputs(); len(outs) > 1 {
+		for _, o := range outs {
+			id, name := o.ID, o.Name
+			steps = append(steps, ShrinkStep{
+				Name: "drop-output:" + name,
+				Apply: func(cc *netlist.Circuit) error {
+					if err := cc.Remove(id); err != nil {
+						return err
+					}
+					return finish(cc)
+				},
+			})
+		}
+	}
+	for _, ff := range c.FlipFlops() {
+		id, name := ff.ID, ff.Name
+		steps = append(steps, ShrinkStep{
+			Name: "collapse-ff:" + name,
+			Apply: func(cc *netlist.Circuit) error {
+				if err := cc.Collapse(id, 0); err != nil {
+					return err
+				}
+				return finish(cc)
+			},
+		})
+	}
+	c.Live(func(n *netlist.Node) {
+		if !n.Kind.IsCombinational() {
+			return
+		}
+		id, name := n.ID, n.Name
+		for pin := range n.Fanins {
+			pin := pin
+			steps = append(steps, ShrinkStep{
+				Name: fmt.Sprintf("collapse:%s:%d", name, pin),
+				Apply: func(cc *netlist.Circuit) error {
+					if err := cc.Collapse(id, pin); err != nil {
+						return err
+					}
+					return finish(cc)
+				},
+			})
+		}
+	})
+	for _, in := range c.Inputs() {
+		id, name := in.ID, in.Name
+		for _, v := range []bool{false, true} {
+			v := v
+			label := "const0:"
+			if v {
+				label = "const1:"
+			}
+			steps = append(steps, ShrinkStep{
+				Name: label + name,
+				Apply: func(cc *netlist.Circuit) error {
+					if err := cc.Constify(id, v); err != nil {
+						return err
+					}
+					return finish(cc)
+				},
+			})
+		}
+	}
+	return steps
+}

@@ -121,7 +121,7 @@ func (m *Model) SolveOpts(ctx context.Context, o SolveOptions) (*Solution, error
 	}
 	budget := o.TimeBudget
 	if budget <= 0 {
-		budget = defaultBudget
+		budget = defaultBudget * budgetScale
 	}
 	deadline := time.Now().Add(budget)
 

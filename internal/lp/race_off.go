@@ -1,0 +1,9 @@
+//go:build !race
+
+package lp
+
+// budgetScale stretches the default branch-and-bound time budget. It is
+// 1 in normal builds; the race-instrumented build raises it, because the
+// detector slows the solver roughly an order of magnitude and a
+// wall-clock timeout must not change which models are solved.
+const budgetScale = 1

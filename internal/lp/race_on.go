@@ -1,0 +1,8 @@
+//go:build race
+
+package lp
+
+// budgetScale compensates for race-detector instrumentation: the solver
+// runs roughly an order of magnitude slower, and the default wall-clock
+// budget must not decide feasibility differently under `go test -race`.
+const budgetScale = 10

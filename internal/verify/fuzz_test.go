@@ -1,0 +1,113 @@
+package verify
+
+// Native Go fuzz targets over the internal/gen byte-string decoder. Run
+// continuously with
+//
+//	go test -fuzz=FuzzOptimizeEquivalence -fuzztime=20s ./internal/verify
+//
+// (one target per invocation; make fuzz-short runs all three). The seeds
+// below also execute as plain unit tests on every `go test`, so the
+// targets double as cheap smoke coverage of the decoder corners: empty
+// input, minimal default case, deep single stage, bypass+ring flags.
+
+import (
+	"testing"
+
+	"virtualsync/internal/core"
+	"virtualsync/internal/gen"
+)
+
+func fuzzSeeds(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{2, 0, 1, 1, 6, 3, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{200, 1, 7, 2, 3, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{9, 2, 2, 1, 4, 250, 13, 40, 7, 99, 3, 18, 5, 77, 1, 0, 254, 6, 21, 8})
+	f.Add([]byte{1, 1, 6, 2, 4, 128, 64, 32, 16, 8, 4, 2, 1, 0, 255, 127, 63, 31, 15, 7, 3})
+}
+
+// FuzzOptimizeEquivalence is the flagship target: decode, run the whole
+// VirtualSync pipeline, and demand cycle-accurate boundary equivalence
+// between original and optimized netlists under reset+random stimulus.
+func FuzzOptimizeEquivalence(f *testing.F) {
+	fuzzSeeds(f)
+	ck := NewChecker()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if rep := ck.CheckBytes(data); rep.Outcome == Fail {
+			d, _ := gen.DecodeCase(data)
+			t.Fatalf("differential check failed: %v\ncircuit:\n%s", rep, d.Circuit.String())
+		}
+	})
+}
+
+// FuzzLegalize stresses the legalized plan itself: whenever the pipeline
+// produces a plan, it must satisfy the exact-model validator and its
+// per-edge arrays must be mutually consistent.
+func FuzzLegalize(f *testing.F) {
+	fuzzSeeds(f)
+	ck := NewChecker()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := gen.DecodeCase(data)
+		if err != nil {
+			return
+		}
+		res, err := ck.optimize(d)
+		if err != nil || res == nil {
+			if err != nil && !isBenign(err) {
+				t.Fatalf("optimize: %v", err)
+			}
+			return
+		}
+		p := res.Plan
+		if vs := p.Validate(); len(vs) > 0 {
+			t.Fatalf("legalized plan violates exact model: %v", vs[0])
+		}
+		if len(p.Unit) != len(p.R.Edges) || len(p.Chain) != len(p.R.Edges) {
+			t.Fatalf("plan arrays inconsistent: %d units, %d chains, %d edges",
+				len(p.Unit), len(p.Chain), len(p.R.Edges))
+		}
+		for i, u := range p.Unit {
+			if u.Kind == core.UnitLatch && (u.PhaseFrac < 0 || u.PhaseFrac >= 1) {
+				t.Fatalf("edge %d: latch phase %g out of [0,1)", i, u.PhaseFrac)
+			}
+			if p.ChainDelay[i] < -1e-9 {
+				t.Fatalf("edge %d: negative chain delay %g", i, p.ChainDelay[i])
+			}
+		}
+	})
+}
+
+// FuzzDiscretize stresses the materialization stage: the applied circuit
+// must stay structurally valid, schedulable, and its register accounting
+// must match the plan (original DFFs - removed + inserted FF units).
+func FuzzDiscretize(f *testing.F) {
+	fuzzSeeds(f)
+	ck := NewChecker()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := gen.DecodeCase(data)
+		if err != nil {
+			return
+		}
+		res, err := ck.optimize(d)
+		if err != nil || res == nil {
+			if err != nil && !isBenign(err) {
+				t.Fatalf("optimize: %v", err)
+			}
+			return
+		}
+		if err := res.Circuit.Validate(); err != nil {
+			t.Fatalf("optimized circuit invalid: %v", err)
+		}
+		if _, err := res.Circuit.TopoOrder(); err != nil {
+			t.Fatalf("optimized circuit unschedulable: %v", err)
+		}
+		wantDFFs := d.Circuit.Stats().DFFs - res.RemovedFFs + res.NumFFUnits
+		if got := res.Circuit.Stats().DFFs; got != wantDFFs {
+			t.Fatalf("register accounting off: %d DFFs in optimized circuit, want %d (= %d - %d removed + %d units)",
+				got, wantDFFs, d.Circuit.Stats().DFFs, res.RemovedFFs, res.NumFFUnits)
+		}
+		if got := res.Circuit.Stats().Latches; got != res.NumLatchUnits {
+			t.Fatalf("latch accounting off: %d latches, want %d", got, res.NumLatchUnits)
+		}
+	})
+}

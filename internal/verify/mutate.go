@@ -1,0 +1,138 @@
+package verify
+
+// Mutation smoke mode: each Mutation below injects one known bug class
+// into an otherwise correct optimization result, emulating a specific
+// legalizer defect. The smoke test (mutation_test.go) demands that the
+// differential checker detects every class within a fixed budget of
+// generated cases — if a mutation ever becomes invisible, the harness
+// has lost sensitivity and can no longer be trusted to guard the real
+// pipeline.
+
+import (
+	"math"
+	"strings"
+
+	"virtualsync/internal/core"
+	"virtualsync/internal/netlist"
+)
+
+// Mutation is one injectable bug class.
+type Mutation struct {
+	Name string
+	// Replan marks plan-level mutations: after injection the checker
+	// re-validates the plan and re-materializes the circuit, exactly as a
+	// buggy legalizer would have.
+	Replan bool
+	// apply mutates res in place; false means the result offers no site
+	// for this bug class (e.g. no latch unit was placed).
+	apply func(res *core.Result) bool
+}
+
+// Apply injects the mutation into res, reporting whether a site existed.
+func (m *Mutation) Apply(res *core.Result) bool { return m.apply(res) }
+
+// Mutations returns every known bug class, in a fixed order.
+func Mutations() []*Mutation {
+	return []*Mutation{
+		mutWindowOffByOne(),
+		mutDroppedAnchorShift(),
+		mutWrongLatchPhase(),
+		mutDropUnit(),
+	}
+}
+
+// MutationByName returns the named bug class, or nil.
+func MutationByName(name string) *Mutation {
+	for _, m := range Mutations() {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// mutWindowOffByOne shifts the clock-window index of the first
+// sequential delay unit by one — the classic fencepost in the n_wt
+// window encoding. The exact-model validator must flag the plan.
+func mutWindowOffByOne() *Mutation {
+	return &Mutation{
+		Name:   "window-off-by-one",
+		Replan: true,
+		apply: func(res *core.Result) bool {
+			for i := range res.Plan.Unit {
+				k := res.Plan.Unit[i].Kind
+				if k == core.UnitFF || k == core.UnitLatch {
+					res.Plan.Unit[i].N++
+					return true
+				}
+			}
+			return false
+		},
+	}
+}
+
+// mutDroppedAnchorShift re-registers one optimized edge at its sink pin,
+// emulating a legalizer that forgot an anchor flip-flop was already
+// absorbed into the wave: every value on the edge arrives one cycle
+// late, which the boundary-equivalence simulation must see.
+func mutDroppedAnchorShift() *Mutation {
+	return &Mutation{
+		Name: "dropped-anchor-shift",
+		apply: func(res *core.Result) bool {
+			for _, e := range res.Plan.R.Edges {
+				dst := res.Circuit.Node(e.DstNode)
+				if dst == nil || e.DstPin < 0 || e.DstPin >= len(dst.Fanins) {
+					continue
+				}
+				if _, err := res.Circuit.InsertAtPin(
+					"mut_anchor", netlist.KindDFF, e.DstNode, e.DstPin); err == nil {
+					return true
+				}
+			}
+			return false
+		},
+	}
+}
+
+// mutWrongLatchPhase moves the first latch delay unit a quarter period
+// away from its legalized phase — the transparency window no longer
+// matches the model, so either the validator's latch-window checks or
+// the simulation must object.
+func mutWrongLatchPhase() *Mutation {
+	return &Mutation{
+		Name:   "wrong-latch-phase",
+		Replan: true,
+		apply: func(res *core.Result) bool {
+			for i := range res.Plan.Unit {
+				if res.Plan.Unit[i].Kind == core.UnitLatch {
+					res.Plan.Unit[i].PhaseFrac = math.Mod(res.Plan.Unit[i].PhaseFrac+0.25, 1)
+					return true
+				}
+			}
+			return false
+		},
+	}
+}
+
+// mutDropUnit deletes one inserted sequential delay unit from the
+// materialized netlist, collapsing it onto its fanin — the wave loses a
+// full cycle of separation, which shows up as a trace mismatch or, on
+// ring structures, a combinational cycle.
+func mutDropUnit() *Mutation {
+	return &Mutation{
+		Name: "drop-unit",
+		apply: func(res *core.Result) bool {
+			target := netlist.InvalidID
+			res.Circuit.Live(func(n *netlist.Node) {
+				if target == netlist.InvalidID && n.Kind.IsSequential() &&
+					(strings.HasPrefix(n.Name, "vs_ff_") || strings.HasPrefix(n.Name, "vs_lt_")) {
+					target = n.ID
+				}
+			})
+			if target == netlist.InvalidID {
+				return false
+			}
+			return res.Circuit.Collapse(target, 0) == nil
+		},
+	}
+}

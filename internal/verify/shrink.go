@@ -1,0 +1,72 @@
+package verify
+
+// Counterexample shrinking: once a case fails, greedily minimize it so
+// the stored regression seed is small enough to debug by hand. The
+// shrinker alternates stimulus truncation with the structural
+// simplifications enumerated by gen.ShrinkSteps (output-cone deletion,
+// register and gate collapsing, input constification), accepting a
+// candidate only when the failure still reproduces under the same
+// checker. Everything is deterministic: same case, same checker, same
+// budget → same minimal counterexample.
+
+import "virtualsync/internal/gen"
+
+// cloneCase deep-copies a fuzz case (knobs by value, circuit by Clone).
+func cloneCase(d *gen.Decoded) *gen.Decoded {
+	cc := *d
+	cc.Circuit = d.Circuit.Clone()
+	return &cc
+}
+
+// Shrink minimizes a failing case, spending at most budget differential
+// checks (<=0 selects a default). It returns the smallest still-failing
+// case found and the number of checks spent. If d does not fail under
+// ck, it is returned unchanged.
+func (ck *Checker) Shrink(d *gen.Decoded, budget int) (*gen.Decoded, int) {
+	if budget <= 0 {
+		budget = 150
+	}
+	spent := 0
+	fails := func(c *gen.Decoded) bool {
+		spent++
+		return ck.Check(c).Outcome == Fail
+	}
+	cur := cloneCase(d)
+	if !fails(cur) {
+		return cur, spent
+	}
+	for improved := true; improved && spent < budget; {
+		improved = false
+		// Stimulus truncation first: halving the simulated window is the
+		// cheapest big reduction and never changes the circuit.
+		if half := cur.Cycles / 2; half >= cur.Warmup+4 && spent < budget {
+			cand := cloneCase(cur)
+			cand.Cycles = half
+			if fails(cand) {
+				cur = cand
+				improved = true
+				continue
+			}
+		}
+		// Then the first structural simplification that still fails;
+		// restart enumeration after each acceptance so coarse steps get
+		// another chance on the smaller circuit.
+		for _, step := range gen.ShrinkSteps(cur.Circuit) {
+			if spent >= budget {
+				break
+			}
+			cc := cur.Circuit.Clone()
+			if err := step.Apply(cc); err != nil {
+				continue
+			}
+			cand := cloneCase(cur)
+			cand.Circuit = cc
+			if fails(cand) {
+				cur = cand
+				improved = true
+				break
+			}
+		}
+	}
+	return cur, spent
+}

@@ -1,0 +1,244 @@
+// Package verify is the end-to-end differential verification harness for
+// the VirtualSync pipeline. It runs the full optimization flow
+// (extraction → LP relaxation → legalization → discretization → buffer
+// replacement) on generated circuits and checks, by event simulation
+// under randomized stimulus, that the optimized netlist latches the same
+// values at every surviving flip-flop and primary output in the same
+// cycles as the original — the paper's core correctness claim.
+//
+// The harness has three consumers: native Go fuzz targets (fuzz_test.go)
+// over the byte-string decoder in internal/gen, the cmd/vfuzz CLI, and a
+// mutation smoke mode (mutate.go) that injects known bug classes into
+// the optimization result and demands the checker catches each one.
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"virtualsync/internal/celllib"
+	"virtualsync/internal/core"
+	"virtualsync/internal/gen"
+	"virtualsync/internal/sim"
+)
+
+// Outcome classifies one differential check.
+type Outcome int
+
+const (
+	// Pass: the pipeline produced an optimized circuit that is
+	// cycle-accurate equivalent to the original.
+	Pass Outcome = iota
+	// Skip: the case never reached a comparable optimized circuit for a
+	// benign reason — extraction rejected the circuit or no feasible
+	// period improvement exists. Not a bug.
+	Skip
+	// Fail: a correctness property was violated; the Report says where.
+	Fail
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Pass:
+		return "pass"
+	case Skip:
+		return "skip"
+	case Fail:
+		return "FAIL"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Report is the result of one differential check.
+type Report struct {
+	Outcome Outcome
+	// Stage names the pipeline stage that decided the outcome: one of
+	// "decode", "optimize", "mutate", "validate", "apply", "sim", "panic".
+	Stage  string
+	Detail string
+	// Mutated is set when the checker's Mutation found a site and was
+	// injected before the downstream checks ran.
+	Mutated bool
+	// Mismatches holds the first differing trace entries for sim failures.
+	Mismatches []sim.Mismatch
+	// Result is the optimization result, when one was produced.
+	Result *core.Result
+}
+
+func (r *Report) String() string {
+	s := r.Outcome.String()
+	if r.Stage != "" {
+		s += " [" + r.Stage + "]"
+	}
+	if r.Detail != "" {
+		s += ": " + r.Detail
+	}
+	return s
+}
+
+// Checker runs differential checks with a fixed library and option set.
+type Checker struct {
+	Lib  *celllib.Library
+	Opts core.Options
+	// Mutate, when non-nil, injects a known bug class into the
+	// optimization result before the validation/apply/simulation stages —
+	// the harness's own sensitivity test.
+	Mutate *Mutation
+	// Search selects the full period search (core.Optimize) instead of
+	// the default single-period probe. The probe runs the identical
+	// pipeline at one target period — T0*(1-TFrac), falling back to the
+	// margined baseline T0 — which is an order of magnitude faster and is
+	// what the fuzz targets and the shrinker use.
+	Search bool
+}
+
+// NewChecker returns a checker over the default cell library and paper
+// options.
+func NewChecker() *Checker {
+	return &Checker{Lib: celllib.Default(), Opts: core.DefaultOptions()}
+}
+
+// skipMarkers are substrings of core errors that mean "this circuit is
+// legitimately outside the transformation's domain", not a bug: the
+// extractor rejected the structure or no feasible solution exists.
+var skipMarkers = []string{
+	"no feasible VirtualSync solution",
+	"no flip-flops selected",
+	"already contains latches",
+	"removed-flip-flop cycle",
+	"read by",
+}
+
+func isBenign(err error) bool {
+	if strings.Contains(err.Error(), "internal error") {
+		return false
+	}
+	for _, m := range skipMarkers {
+		if strings.Contains(err.Error(), m) {
+			return true
+		}
+	}
+	return false
+}
+
+// Check runs one full differential check: optimize d.Circuit, optionally
+// inject the checker's mutation, and verify the optimized netlist is
+// structurally sound and cycle-accurate equivalent to the original under
+// d's stimulus knobs. The input case is not mutated. Panics anywhere in
+// the pipeline are converted into Fail reports.
+func (ck *Checker) Check(d *gen.Decoded) (rep *Report) {
+	rep = &Report{Outcome: Pass}
+	defer func() {
+		if r := recover(); r != nil {
+			rep.Outcome = Fail
+			rep.Stage = "panic"
+			rep.Detail = fmt.Sprint(r)
+		}
+	}()
+
+	res, err := ck.optimize(d)
+	if err != nil {
+		if isBenign(err) {
+			return &Report{Outcome: Skip, Stage: "optimize", Detail: err.Error()}
+		}
+		return &Report{Outcome: Fail, Stage: "optimize", Detail: err.Error()}
+	}
+	if res == nil {
+		return &Report{Outcome: Skip, Stage: "optimize", Detail: "infeasible at target period"}
+	}
+	rep.Result = res
+
+	if ck.Mutate != nil {
+		if !ck.Mutate.Apply(res) {
+			return &Report{Outcome: Skip, Stage: "mutate",
+				Detail: "no site for mutation " + ck.Mutate.Name, Result: res}
+		}
+		rep.Mutated = true
+		if ck.Mutate.Replan {
+			// A plan-level mutation models a buggy legalizer: the mutated
+			// plan must survive the exact-model validator and then be
+			// re-materialized before simulation.
+			if vs := res.Plan.Validate(); len(vs) > 0 {
+				rep.Outcome = Fail
+				rep.Stage = "validate"
+				rep.Detail = vs[0].String()
+				return rep
+			}
+			circ, err := res.Plan.Apply()
+			if err != nil {
+				rep.Outcome = Fail
+				rep.Stage = "apply"
+				rep.Detail = err.Error()
+				return rep
+			}
+			res.Circuit = circ
+		}
+	}
+
+	if err := res.Circuit.Validate(); err != nil {
+		rep.Outcome = Fail
+		rep.Stage = "apply"
+		rep.Detail = err.Error()
+		return rep
+	}
+	if _, err := res.Circuit.TopoOrder(); err != nil {
+		rep.Outcome = Fail
+		rep.Stage = "apply"
+		rep.Detail = err.Error()
+		return rep
+	}
+
+	// Zero-reset prefix: feedback state is flushed through input-driven
+	// masks before random stimulus starts, so post-warmup comparison never
+	// depends on power-on register contents (which register relocation
+	// legitimately changes).
+	reset := d.Warmup - 4
+	if reset < 0 {
+		reset = 0
+	}
+	stim := sim.ResetStimulus(d.Circuit, d.Cycles, reset, d.StimSeed)
+	ms, err := sim.VerifyEquivalenceStim(d.Circuit, res.Circuit, ck.Lib,
+		res.BaselinePeriod, res.Period, d.Warmup, stim)
+	if err != nil {
+		rep.Outcome = Fail
+		rep.Stage = "sim"
+		rep.Detail = err.Error()
+		return rep
+	}
+	if len(ms) > 0 {
+		rep.Outcome = Fail
+		rep.Stage = "sim"
+		rep.Detail = fmt.Sprintf("%d trace mismatches, first %v", len(ms), ms[0])
+		rep.Mismatches = ms
+		return rep
+	}
+	return rep
+}
+
+// optimize runs the configured optimization flow. A (nil, nil) return
+// means no feasible solution at the probed period — a Skip, not a bug.
+func (ck *Checker) optimize(d *gen.Decoded) (*core.Result, error) {
+	if ck.Search {
+		return core.Optimize(d.Circuit, ck.Lib, ck.Opts, d.StepFrac)
+	}
+	rgn, err := core.Extract(d.Circuit, ck.Lib, core.ExtractOptions{SelectFrac: ck.Opts.SelectFrac})
+	if err != nil {
+		return nil, err
+	}
+	T0 := rgn.Baseline.MinPeriod * ck.Opts.Ru
+	res, err := core.OptimizeAtPeriod(d.Circuit, ck.Lib, T0*(1-d.TFrac), ck.Opts)
+	if err == nil && res == nil && d.TFrac > 0 {
+		res, err = core.OptimizeAtPeriod(d.Circuit, ck.Lib, T0, ck.Opts)
+	}
+	return res, err
+}
+
+// CheckBytes decodes a fuzz input and checks it. Undecodable byte
+// strings report Skip at stage "decode".
+func (ck *Checker) CheckBytes(data []byte) *Report {
+	d, err := gen.DecodeCase(data)
+	if err != nil {
+		return &Report{Outcome: Skip, Stage: "decode", Detail: err.Error()}
+	}
+	return ck.Check(d)
+}

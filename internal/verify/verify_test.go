@@ -1,0 +1,49 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"virtualsync/internal/gen"
+)
+
+// TestCheckerSoak runs the differential checker over a deterministic
+// batch of decoder inputs: the real pipeline must never fail, and the
+// batch must actually exercise the transformation (enough Pass outcomes
+// with placed units) rather than skipping everything.
+func TestCheckerSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak is not -short")
+	}
+	ck := NewChecker()
+	rng := rand.New(rand.NewSource(42))
+	var pass, skip, units int
+	start := time.Now()
+	const cases = 30
+	for i := 0; i < cases; i++ {
+		data := make([]byte, 8+rng.Intn(100))
+		rng.Read(data)
+		d, err := gen.DecodeCase(data)
+		if err != nil {
+			continue
+		}
+		rep := ck.Check(d)
+		switch rep.Outcome {
+		case Fail:
+			t.Fatalf("case %d: unexpected failure: %v\ncircuit:\n%s", i, rep, d.Circuit.String())
+		case Pass:
+			pass++
+			if rep.Result != nil && rep.Result.NumFFUnits+rep.Result.NumLatchUnits > 0 {
+				units++
+			}
+		case Skip:
+			skip++
+		}
+	}
+	t.Logf("soak: %d cases in %v — %d pass (%d with seq units), %d skip",
+		cases, time.Since(start).Round(time.Millisecond), pass, units, skip)
+	if pass < cases/4 {
+		t.Fatalf("only %d/%d cases passed a full differential check — decoder too often infeasible", pass, cases)
+	}
+}
