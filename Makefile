@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race cover fuzz-short bench bench-lp
+.PHONY: check fmt vet build test race cover fuzz-short bench bench-lp bench-sim
 
 # The full pre-commit gate: formatting, vet, build, the whole test
-# suite, the race detector over every package, coverage floors, and a
-# short differential-fuzzing pass with regression replay.
-check: fmt vet build test race cover fuzz-short
+# suite, the race detector over every package, coverage floors, a short
+# differential-fuzzing pass with regression replay, and the simulation
+# engine benchmarks (throughput + allocs/op evidence in BENCH_sim.json).
+check: fmt vet build test race cover fuzz-short bench-sim
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -56,6 +57,7 @@ fuzz-short:
 	$(GO) test ./internal/verify -run '^$$' -fuzz FuzzOptimizeEquivalence -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/verify -run '^$$' -fuzz FuzzLegalize -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/verify -run '^$$' -fuzz FuzzDiscretize -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/verify -run '^$$' -fuzz FuzzBitSimAgainstEventSim -fuzztime $(FUZZTIME)
 	$(GO) run ./cmd/vfuzz replay internal/verify/testdata/regressions
 
 # Regenerate every paper table/figure (writes results/).
@@ -68,3 +70,13 @@ bench:
 bench-lp:
 	$(GO) test -json -run '^$$' -bench 'LPSolve|SuiteParallel' -benchmem . > BENCH_lp.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_lp.json | sed 's/\"Output\":\"//;s/\\t/\t/g;s/\\n//' || true
+
+# Simulation-engine benchmarks only, with machine-readable output in
+# BENCH_sim.json: event engine vs 64-lane bit-parallel engine on the
+# same s13207 workload (vectors/s is the per-stimulus-vector comparison)
+# plus one full differential check with the fast path on and off.
+# allocs/op on the engine benchmarks documents the pooled, steady-state
+# Run buffers.
+bench-sim:
+	$(GO) test -json -run '^$$' -bench 'EventSim|BitSim|VerifyEquivalence' -benchmem . > BENCH_sim.json
+	@grep -o '"Output":"Benchmark[^"]*\|"Output":"[^"]*ns/op[^"]*' BENCH_sim.json | sed 's/\"Output\":\"//;s/\\t/\t/g;s/\\n//' || true

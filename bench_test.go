@@ -15,6 +15,7 @@ package virtualsync_test
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"os"
 	"strings"
 	"sync"
@@ -29,6 +30,7 @@ import (
 	"virtualsync/internal/sim"
 	"virtualsync/internal/sta"
 	"virtualsync/internal/variation"
+	"virtualsync/internal/verify"
 )
 
 var (
@@ -341,21 +343,116 @@ func BenchmarkSuiteParallel(b *testing.B) {
 	}
 }
 
-// BenchmarkSimulator measures event-driven simulation throughput on the
-// s13207 suite circuit.
-func BenchmarkSimulator(b *testing.B) {
+// simBenchCycles is the shared workload depth of the simulation-engine
+// benchmarks: one Run simulates this many clock cycles of s13207.
+const simBenchCycles = 32
+
+// BenchmarkEventSim measures the event-driven engine on the s13207 suite
+// circuit: one stimulus vector per Run, on a reused Simulator so the
+// pooled event queue, pending index and trace buffers are exercised in
+// their steady (allocation-free) state. vectors/s is directly comparable
+// with BenchmarkBitSim's.
+func BenchmarkEventSim(b *testing.B) {
 	c := virtualsync.GenerateBenchmark("s13207")
 	lib := celllib.Default()
-	stim := sim.RandomStimulus(c, 32, 1)
+	stim := sim.RandomStimulus(c, simBenchCycles, 1)
+	s, err := sim.New(c, lib, sim.Options{T: 500, Cycles: simBenchCycles})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Run(stim); err != nil { // warm the pooled buffers
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s, err := sim.New(c, lib, sim.Options{T: 500, Cycles: 32})
-		if err != nil {
-			b.Fatal(err)
-		}
 		if _, err := s.Run(stim); err != nil {
 			b.Fatal(err)
 		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "vectors/s")
+}
+
+// BenchmarkBitSim measures the 64-lane bit-parallel engine on the same
+// circuit and cycle count: one Run evaluates 64 independent stimulus
+// vectors, so vectors/s counts 64 per iteration.
+func BenchmarkBitSim(b *testing.B) {
+	c := virtualsync.GenerateBenchmark("s13207")
+	if !sim.BitSimExact(c) {
+		b.Fatal("s13207 should be BitSimExact")
+	}
+	seeds := gen.LaneSeeds(1, 64)
+	scalar := make([][][]bool, len(seeds))
+	for l, seed := range seeds {
+		scalar[l] = sim.RandomStimulus(c, simBenchCycles, seed)
+	}
+	words, err := sim.PackStimulus(scalar)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := sim.NewBit(c, sim.BitOptions{Cycles: simBenchCycles, Lanes: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Run(words); err != nil { // warm the reused buffers
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(words); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)*64/b.Elapsed().Seconds(), "vectors/s")
+}
+
+// verifyBenchCase returns a deterministic decodable fuzz case whose full
+// differential check passes — the representative workload of one vfuzz
+// campaign exec.
+func verifyBenchCase(b *testing.B, ck *verify.Checker) *gen.Decoded {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 256; i++ {
+		data := make([]byte, 8+rng.Intn(120))
+		rng.Read(data)
+		d, err := gen.DecodeCase(data)
+		if err != nil {
+			continue
+		}
+		if rep := ck.Check(d); rep.Outcome == verify.Pass {
+			return d
+		}
+	}
+	b.Fatal("no passing case found in deterministic stream")
+	return nil
+}
+
+// BenchmarkVerifyEquivalence measures one full differential check
+// (optimize + simulate + compare) per iteration, with the bit-parallel
+// fast path on ("fast": 64 stimulus lanes per exec) and forced off
+// ("event": the single-lane event-engine oracle).
+func BenchmarkVerifyEquivalence(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"fast", false}, {"event", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			ck := verify.NewChecker()
+			ck.DisableBitSim = mode.disable
+			d := verifyBenchCase(b, ck)
+			b.ReportAllocs()
+			b.ResetTimer()
+			lanes := 0
+			for i := 0; i < b.N; i++ {
+				rep := ck.Check(d)
+				if rep.Outcome != verify.Pass {
+					b.Fatalf("bench case stopped passing: %v", rep)
+				}
+				lanes += rep.Lanes
+			}
+			b.ReportMetric(float64(lanes)/b.Elapsed().Seconds(), "lanes/s")
+		})
 	}
 }
 

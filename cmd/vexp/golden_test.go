@@ -50,6 +50,7 @@ func fixtureRows() []*expt.CircuitResult {
 			Name: "s27", NS: 3, NG: 10, NCS: 2, NCG: 6,
 			NF: 1, NL: 0, NB: 3, NT: 11.5, NA: 2.75,
 			Runtime:        1500 * time.Millisecond,
+			Wall:           1800 * time.Millisecond,
 			BaselinePeriod: 21, Period: 18.585,
 			BaselineArea: 100, Area: 104,
 			UnitsBeforeReplace: 5, UnitsAfterReplace: 1, AreaRatioPct: 62.5,
@@ -60,6 +61,7 @@ func fixtureRows() []*expt.CircuitResult {
 			Name: "s5378", NS: 179, NG: 2779, NCS: 23, NCG: 164,
 			NF: 2, NL: 4, NB: 17, NT: 3.1, NA: -0.42,
 			Runtime:        42300 * time.Millisecond,
+			Wall:           45250 * time.Millisecond,
 			BaselinePeriod: 30.4, Period: 29.458,
 			BaselineArea: 2779, Area: 2801,
 			UnitsBeforeReplace: 11, UnitsAfterReplace: 6, AreaRatioPct: 81.8,
@@ -70,6 +72,7 @@ func fixtureRows() []*expt.CircuitResult {
 			Name: "s9234", NS: 211, NG: 5597, NCS: 0, NCG: 0,
 			NF: 0, NL: 0, NB: 0, NT: 0, NA: 0,
 			Runtime:            900 * time.Millisecond,
+			Wall:               1100 * time.Millisecond,
 			UnitsBeforeReplace: 0, UnitsAfterReplace: 0, AreaRatioPct: 100,
 		},
 	}

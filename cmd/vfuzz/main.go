@@ -4,15 +4,18 @@
 //
 // Usage:
 //
-//	vfuzz run [-n 500] [-seed 1] [-search] [-out DIR]
+//	vfuzz run [-n 500] [-seed 1] [-search] [-no-bitsim] [-out DIR] [-cpuprofile F] [-memprofile F]
 //	vfuzz replay FILE.bench...
 //	vfuzz shrink [-budget 150] [-mutation NAME] [-out DIR] FILE.bench
 //	vfuzz corpus-stats [-n 500] [-seed 1] [DIR]
 //
 // run generates n deterministic random cases, checks each, and on any
 // failure shrinks it and stores the minimal counterexample under -out as
-// a permanent regression seed. replay re-checks stored seeds (including
-// re-injecting the mutation a sensitivity seed was recorded from).
+// a permanent regression seed; it reports campaign throughput as both
+// execs/sec and stimulus lanes/sec (the bit-parallel fast path verifies
+// up to 64 stimulus vectors per exec). replay re-checks stored seeds
+// (including re-injecting the mutation a sensitivity seed was recorded
+// from).
 // shrink minimizes one failing seed, optionally under an injected
 // mutation. corpus-stats reports decoder and outcome distributions.
 package main
@@ -22,8 +25,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"strings"
+	"time"
 
 	"virtualsync/internal/gen"
 	"virtualsync/internal/verify"
@@ -67,13 +72,30 @@ func cmdRun(args []string) {
 	search := fs.Bool("search", false, "full period search per case (slower, deeper)")
 	out := fs.String("out", "internal/verify/testdata/regressions", "directory for shrunk counterexamples")
 	budget := fs.Int("budget", 0, "shrink budget in checks (0 = default)")
+	noBitSim := fs.Bool("no-bitsim", false, "force the pure event-engine oracle (baseline timing)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile after the campaign to this file")
 	fs.Parse(args)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	ck := verify.NewChecker()
 	ck.Search = *search
+	ck.DisableBitSim = *noBitSim
 	rng := rand.New(rand.NewSource(*seed))
 	tally := map[string]int{}
-	failures := 0
+	failures, execs, lanes, fastExecs := 0, 0, 0, 0
+	start := time.Now()
 	for i := 0; i < *n; i++ {
 		data := randomCase(rng)
 		d, err := gen.DecodeCase(data)
@@ -87,6 +109,11 @@ func cmdRun(args []string) {
 			key += "/" + rep.Stage
 		}
 		tally[key]++
+		execs++
+		lanes += rep.Lanes
+		if rep.FastPath {
+			fastExecs++
+		}
 		if rep.Outcome != verify.Fail {
 			continue
 		}
@@ -99,6 +126,7 @@ func cmdRun(args []string) {
 		}
 		fmt.Printf("  shrunk in %d checks -> %s\n", spent, path)
 	}
+	elapsed := time.Since(start)
 	keys := make([]string, 0, len(tally))
 	for k := range tally {
 		keys = append(keys, k)
@@ -109,6 +137,21 @@ func cmdRun(args []string) {
 		fmt.Printf(" %s=%d", k, tally[k])
 	}
 	fmt.Println()
+	if s := elapsed.Seconds(); s > 0 && execs > 0 {
+		fmt.Printf("%d execs in %v: %.1f execs/sec, %d stimulus lanes (%.1f lanes/sec), fast path on %d/%d\n",
+			execs, elapsed.Round(time.Millisecond), float64(execs)/s, lanes, float64(lanes)/s, fastExecs, execs)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal("memprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+			fatal("memprofile: %v", err)
+		}
+	}
 	if failures > 0 {
 		os.Exit(1)
 	}

@@ -188,7 +188,7 @@ func WriteCSV(w io.Writer, rows []*CircuitResult) error {
 	cw := csv.NewWriter(w)
 	header := []string{
 		"circuit", "ns", "ng", "ncs", "ncg", "nf", "nl", "nb",
-		"nt_pct", "na_pct", "runtime_s",
+		"nt_pct", "na_pct", "runtime_s", "wall_s",
 		"baseline_period", "period", "baseline_area", "area",
 		"units_before_replace", "units_after_replace", "area_ratio_pct",
 		"area_same_period", "baseline_area_same_period",
@@ -202,7 +202,7 @@ func WriteCSV(w io.Writer, rows []*CircuitResult) error {
 	for _, r := range rows {
 		rec := []string{
 			r.Name, d(r.NS), d(r.NG), d(r.NCS), d(r.NCG), d(r.NF), d(r.NL), d(r.NB),
-			f(r.NT), f(r.NA), f(r.Runtime.Seconds()),
+			f(r.NT), f(r.NA), f(r.Runtime.Seconds()), f(r.Wall.Seconds()),
 			f(r.BaselinePeriod), f(r.Period), f(r.BaselineArea), f(r.Area),
 			d(r.UnitsBeforeReplace), d(r.UnitsAfterReplace), f(r.AreaRatioPct),
 			f(r.AreaSamePeriod), f(r.BaselineAreaSamePeriod),

@@ -1,0 +1,51 @@
+package expt
+
+import (
+	"testing"
+
+	"virtualsync/internal/gen"
+)
+
+// TestScheduleOrderLongestFirst checks the worker feed: circuits are
+// dispatched by decreasing size so the longest job never starts last,
+// while equal sizes keep suite order (stable sort).
+func TestScheduleOrderLongestFirst(t *testing.T) {
+	specs := []gen.Spec{
+		{Name: "small", TargetGates: 100, TargetFFs: 10},
+		{Name: "big", TargetGates: 900, TargetFFs: 40},
+		{Name: "mid-a", TargetGates: 500, TargetFFs: 20},
+		{Name: "mid-b", TargetGates: 510, TargetFFs: 10}, // ties mid-a: stable, keeps suite order
+		{Name: "tiny", TargetGates: 10, TargetFFs: 2},
+	}
+	order := scheduleOrder(specs)
+	var got []string
+	for _, i := range order {
+		got = append(got, specs[i].Name)
+	}
+	want := []string{"big", "mid-a", "mid-b", "small", "tiny"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("schedule order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestScheduleOrderPaperSuite sanity-checks the real suite: the feed
+// must be a permutation and its first element the largest circuit.
+func TestScheduleOrderPaperSuite(t *testing.T) {
+	specs := gen.PaperSuite()
+	order := scheduleOrder(specs)
+	seen := make([]bool, len(specs))
+	for _, i := range order {
+		if i < 0 || i >= len(specs) || seen[i] {
+			t.Fatalf("order %v is not a permutation", order)
+		}
+		seen[i] = true
+	}
+	first := specs[order[0]]
+	for _, s := range specs {
+		if s.TargetGates+s.TargetFFs > first.TargetGates+first.TargetFFs {
+			t.Fatalf("first dispatched %q is smaller than %q", first.Name, s.Name)
+		}
+	}
+}

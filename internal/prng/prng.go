@@ -1,0 +1,60 @@
+// Package prng provides a small deterministic splittable pseudo-random
+// generator (splitmix64) shared by the simulation, generation and
+// variation subsystems. It lives in a leaf package so that low-level
+// packages (internal/sim, internal/gen) can derive independent stimulus
+// streams without importing the Monte Carlo engine, whose dependencies
+// would create import cycles with their tests.
+package prng
+
+import "math"
+
+// RNG is a small deterministic pseudo-random generator (splitmix64).
+// It is not safe for concurrent use; derive one per goroutine or per
+// sample with Stream.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *RNG {
+	return &RNG{state: Mix64(seed ^ 0x9e3779b97f4a7c15)}
+}
+
+// Mix64 is the splitmix64 finalizer: a bijective avalanche over uint64.
+func Mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Uint64 returns the next pseudo-random value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return Mix64(r.state)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Norm returns a standard normal deviate (Box-Muller).
+func (r *RNG) Norm() float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	v := r.Float64()
+	return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+}
+
+// Stream derives an independent generator for stream index i without
+// advancing r. Stream(i) depends only on r's seed and i, so any number
+// of goroutines may call it concurrently on a shared root generator:
+// this is what makes parallel runs reproducible under any worker count.
+func (r *RNG) Stream(i uint64) *RNG {
+	return &RNG{state: Mix64(r.state ^ Mix64(i+0x6a09e667f3bcc909))}
+}

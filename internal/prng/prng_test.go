@@ -1,0 +1,74 @@
+package prng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if New(42).Stream(uint64(i)).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide on %d/100 draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestStreamIndependence(t *testing.T) {
+	root := New(1)
+	before := root.state
+	s5a := root.Stream(5)
+	s5b := root.Stream(5)
+	s6 := root.Stream(6)
+	if root.state != before {
+		t.Fatal("Stream advanced the root generator")
+	}
+	for i := 0; i < 50; i++ {
+		va, vb := s5a.Uint64(), s5b.Uint64()
+		if va != vb {
+			t.Fatalf("Stream(5) not reproducible at draw %d", i)
+		}
+		if va == s6.Uint64() {
+			t.Fatalf("Stream(5) and Stream(6) collide at draw %d", i)
+		}
+	}
+}
+
+func TestNormStats(t *testing.T) {
+	r := New(99)
+	const n = 20000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("Norm mean = %g, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Fatalf("Norm variance = %g, want ~1", variance)
+	}
+}

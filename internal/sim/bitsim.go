@@ -1,0 +1,400 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"virtualsync/internal/netlist"
+)
+
+// BitSim is the levelized, two-phase, bit-parallel simulation engine: it
+// evaluates up to 64 independent stimulus vectors at once by packing one
+// lane per bit of a uint64 word per net, and replaying the event
+// engine's per-cycle clock-action schedule under zero-delay semantics.
+//
+// Per cycle the engine visits a precomputed list of "instants" (distinct
+// clock phases within the period, in time order). At each instant all
+// sequential captures read a snapshot of the settled pre-instant values
+// — mirroring the event engine, where every clock action's effect is
+// delayed by tcq > 0 — then the new state and (at phase 0) the new
+// primary-input words are applied, and combinational logic re-settles in
+// one levelized pass, with open latches flowing transparently.
+//
+// For circuits whose sequential elements are all phase-0 flip-flops
+// (every generated original — see BitSimExact), zero-delay semantics
+// coincide with the event engine at any period at or above the STA
+// minimum. For optimized circuits carrying multi-period logic waves the
+// two can diverge, which is why the verification fast path calibrates a
+// reference lane against the event engine before trusting BitSim
+// verdicts (see internal/verify).
+type BitSim struct {
+	c    *netlist.Circuit
+	opts BitOptions
+
+	comb    []*netlist.Node // combinational gates in topo order
+	inputs  []*netlist.Node
+	outputs []*netlist.Node
+	nLatch  int
+
+	schedule    []bitInstant
+	hasDeferred bool
+
+	words    []uint64   // current value word per node
+	open     []bool     // latch transparency, per node
+	traceRef [][]uint64 // per-node alias into trace.Words (nil if untraced)
+	scratch  []uint64   // snapshot reads gathered before instant writes
+	trace    BitTrace
+}
+
+// BitOptions configures a bit-parallel run.
+type BitOptions struct {
+	Duty   float64 // latch transparency starts at phase + Duty (fraction of T)
+	Cycles int     // number of clock cycles to simulate
+	Lanes  int     // meaningful stimulus lanes, 1..64
+}
+
+// bitInstant groups all clock actions that share one phase fraction.
+type bitInstant struct {
+	frac   float64
+	dffs   []netlist.NodeID
+	closes []netlist.NodeID
+	opens  []bitOpen
+}
+
+// bitOpen is a latch opening edge. A latch with Phase+Duty >= 1 opens in
+// the clock cycle after the one that scheduled it; the captured value is
+// attributed to the scheduling cycle, as in the event engine.
+type bitOpen struct {
+	node     netlist.NodeID
+	deferred bool
+}
+
+// NewBit prepares a bit-parallel simulator. The circuit must be
+// structurally valid and free of combinational cycles (latch-through
+// cycles are permitted and resolved iteratively at run time).
+func NewBit(c *netlist.Circuit, opts BitOptions) (*BitSim, error) {
+	if opts.Cycles <= 0 {
+		return nil, fmt.Errorf("sim: need positive cycle count")
+	}
+	if opts.Lanes < 1 || opts.Lanes > 64 {
+		return nil, fmt.Errorf("sim: lane count %d outside 1..64", opts.Lanes)
+	}
+	if opts.Duty <= 0 || opts.Duty >= 1 {
+		opts.Duty = 0.5
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, fmt.Errorf("sim: %v", err)
+	}
+	s := &BitSim{
+		c:       c,
+		opts:    opts,
+		inputs:  c.Inputs(),
+		outputs: c.Outputs(),
+		words:   make([]uint64, len(c.Nodes)),
+		open:    make([]bool, len(c.Nodes)),
+		trace:   BitTrace{Lanes: opts.Lanes, Words: make(map[string][]uint64)},
+	}
+	for _, n := range order {
+		if n.Kind.IsCombinational() {
+			s.comb = append(s.comb, n)
+		}
+	}
+
+	byFrac := make(map[float64]*bitInstant)
+	at := func(frac float64) *bitInstant {
+		ins, ok := byFrac[frac]
+		if !ok {
+			ins = &bitInstant{frac: frac}
+			byFrac[frac] = ins
+		}
+		return ins
+	}
+	at(0) // inputs always change at the cycle boundary
+	actions := 0
+	for _, n := range c.Nodes {
+		if n.Dead() {
+			continue
+		}
+		switch n.Kind {
+		case netlist.KindDFF:
+			ins := at(n.Phase)
+			ins.dffs = append(ins.dffs, n.ID)
+			actions++
+		case netlist.KindLatch:
+			s.nLatch++
+			close := at(n.Phase)
+			close.closes = append(close.closes, n.ID)
+			openFrac := n.Phase + opts.Duty
+			deferred := openFrac >= 1
+			if deferred {
+				openFrac -= 1
+				s.hasDeferred = true
+			}
+			ins := at(openFrac)
+			ins.opens = append(ins.opens, bitOpen{node: n.ID, deferred: deferred})
+			actions++
+		}
+	}
+	for _, ins := range byFrac {
+		s.schedule = append(s.schedule, *ins)
+	}
+	sort.Slice(s.schedule, func(i, j int) bool { return s.schedule[i].frac < s.schedule[j].frac })
+	s.scratch = make([]uint64, 0, actions)
+
+	s.traceRef = make([][]uint64, len(c.Nodes))
+	for _, n := range c.Nodes {
+		if n.Dead() {
+			continue
+		}
+		switch n.Kind {
+		case netlist.KindDFF, netlist.KindLatch, netlist.KindOutput:
+			row := make([]uint64, opts.Cycles)
+			s.trace.Words[n.Name] = row
+			s.traceRef[n.ID] = row
+		}
+	}
+	return s, nil
+}
+
+// SupportsBitSim reports whether c can run on the bit-parallel engine at
+// all: the combinational subgraph must be acyclic (latch-through
+// feedback is handled at run time and fails gracefully if it does not
+// settle).
+func SupportsBitSim(c *netlist.Circuit) bool {
+	_, err := c.TopoOrder()
+	return err == nil
+}
+
+// BitSimExact reports whether zero-delay two-phase semantics provably
+// coincide with the event engine for c at any clock period meeting the
+// STA minimum: every sequential element is an edge-triggered flip-flop
+// clocked at phase 0. Generated original circuits satisfy this; circuits
+// rebuilt by the optimizer (phase-shifted flip-flops, latch delay units,
+// multi-period logic waves) generally do not, and need event-engine
+// calibration before BitSim results can be trusted.
+func BitSimExact(c *netlist.Circuit) bool {
+	if !SupportsBitSim(c) {
+		return false
+	}
+	for _, n := range c.Nodes {
+		if n.Dead() {
+			continue
+		}
+		switch n.Kind {
+		case netlist.KindLatch:
+			return false
+		case netlist.KindDFF:
+			if n.Phase != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Run simulates opts.Cycles cycles with packed stimulus words:
+// stim[cycle][i] carries one bit per lane for the i-th primary input
+// (c.Inputs() order). Lanes beyond opts.Lanes must be zero — they
+// simulate an all-zero-input circuit and are excluded from comparisons.
+//
+// Run may be called repeatedly; buffers and the returned trace are
+// reused, so the result is only valid until the next Run. Run fails if
+// open-latch feedback fails to settle under zero delay; callers should
+// treat that as "engine not applicable", not as a verification verdict.
+func (s *BitSim) Run(stim [][]uint64) (*BitTrace, error) {
+	if len(stim) < s.opts.Cycles {
+		return nil, fmt.Errorf("sim: stimulus covers %d of %d cycles", len(stim), s.opts.Cycles)
+	}
+	for cyc, vec := range stim[:s.opts.Cycles] {
+		if len(vec) != len(s.inputs) {
+			return nil, fmt.Errorf("sim: cycle %d stimulus has %d words for %d inputs", cyc, len(vec), len(s.inputs))
+		}
+	}
+	s.reset()
+
+	// Settle initial combinational values: everything starts at 0
+	// except constants, latches start opaque.
+	for _, n := range s.comb {
+		s.words[n.ID] = evalGateWord(n, s.words)
+	}
+
+	// The loop runs one extra iteration past the last cycle when some
+	// latch opens in the cycle after its scheduling cycle, so those
+	// final captures (attributed to the last real cycle) still land.
+	lastCycle := s.opts.Cycles
+	if !s.hasDeferred {
+		lastCycle--
+	}
+	for cyc := 0; cyc <= lastCycle; cyc++ {
+		for i := range s.schedule {
+			if err := s.instant(&s.schedule[i], cyc, stim); err != nil {
+				return nil, err
+			}
+		}
+		if cyc < s.opts.Cycles {
+			// Primary outputs sample the settled end-of-cycle values:
+			// the event engine reads them at the next cycle boundary,
+			// before any of that boundary's clock or input actions.
+			for _, n := range s.outputs {
+				s.traceRef[n.ID][cyc] = s.words[n.Fanins[0]]
+			}
+		}
+	}
+	return &s.trace, nil
+}
+
+func (s *BitSim) reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+	for i := range s.open {
+		s.open[i] = false
+	}
+	for _, n := range s.c.Nodes {
+		if !n.Dead() && n.Kind == netlist.KindConst1 {
+			s.words[n.ID] = ^uint64(0)
+		}
+	}
+	for _, row := range s.trace.Words {
+		for i := range row {
+			row[i] = 0
+		}
+	}
+}
+
+// instant executes one scheduled phase instant of processing cycle cyc.
+// cyc == opts.Cycles is the tail pass where only deferred latch opens
+// (attributed to the final real cycle) still fire.
+func (s *BitSim) instant(ins *bitInstant, cyc int, stim [][]uint64) error {
+	inCycle := cyc < s.opts.Cycles
+
+	// Phase A: gather every capture's data word from the settled
+	// pre-instant state. No writes happen until all reads are done,
+	// which reproduces the event engine's snapshot behavior (same-time
+	// clock actions all see values from before the instant).
+	sc := s.scratch[:0]
+	if inCycle {
+		for _, id := range ins.dffs {
+			sc = append(sc, s.words[s.c.Nodes[id].Fanins[0]])
+		}
+	}
+	for _, oa := range ins.opens {
+		attr := cyc
+		if oa.deferred {
+			attr--
+		}
+		if attr >= 0 && attr < s.opts.Cycles {
+			sc = append(sc, s.words[s.c.Nodes[oa.node].Fanins[0]])
+		}
+	}
+
+	// Phase B: commit state, captures and transparency changes.
+	wrote := len(sc) > 0
+	k := 0
+	if inCycle {
+		for _, id := range ins.dffs {
+			d := sc[k]
+			k++
+			s.traceRef[id][cyc] = d
+			s.words[id] = d
+		}
+		for _, id := range ins.closes {
+			s.open[id] = false
+		}
+	}
+	for _, oa := range ins.opens {
+		attr := cyc
+		if oa.deferred {
+			attr--
+		}
+		if attr < 0 || attr >= s.opts.Cycles {
+			continue
+		}
+		d := sc[k]
+		k++
+		s.traceRef[oa.node][attr] = d
+		s.words[oa.node] = d
+		s.open[oa.node] = true
+	}
+	if ins.frac == 0 && inCycle {
+		for i, n := range s.inputs {
+			if s.words[n.ID] != stim[cyc][i] {
+				s.words[n.ID] = stim[cyc][i]
+				wrote = true
+			}
+		}
+	}
+	if !wrote {
+		return nil
+	}
+	return s.settle()
+}
+
+// settle re-evaluates combinational logic to a fixpoint under zero
+// delay. Open latches are transparent, so each pass flows their data
+// input through and re-evaluates; a chain of k open latches needs k
+// passes. Failure to settle means level-sensitive feedback oscillates
+// under zero delay — the caller must fall back to the event engine.
+func (s *BitSim) settle() error {
+	for pass := 0; pass <= s.nLatch+1; pass++ {
+		for _, n := range s.comb {
+			s.words[n.ID] = evalGateWord(n, s.words)
+		}
+		changed := false
+		if s.nLatch > 0 {
+			for _, n := range s.c.Nodes {
+				if n.Dead() || n.Kind != netlist.KindLatch || !s.open[n.ID] {
+					continue
+				}
+				if d := s.words[n.Fanins[0]]; d != s.words[n.ID] {
+					s.words[n.ID] = d
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: open-latch feedback does not settle under zero delay")
+}
+
+// evalGateWord computes a combinational gate's output word: one bitwise
+// operation evaluates the gate for all 64 lanes at once.
+func evalGateWord(n *netlist.Node, w []uint64) uint64 {
+	switch n.Kind {
+	case netlist.KindBuf:
+		return w[n.Fanins[0]]
+	case netlist.KindNot:
+		return ^w[n.Fanins[0]]
+	case netlist.KindAnd, netlist.KindNand:
+		v := ^uint64(0)
+		for _, f := range n.Fanins {
+			v &= w[f]
+		}
+		if n.Kind == netlist.KindNand {
+			v = ^v
+		}
+		return v
+	case netlist.KindOr, netlist.KindNor:
+		v := uint64(0)
+		for _, f := range n.Fanins {
+			v |= w[f]
+		}
+		if n.Kind == netlist.KindNor {
+			v = ^v
+		}
+		return v
+	case netlist.KindXor, netlist.KindXnor:
+		v := uint64(0)
+		for _, f := range n.Fanins {
+			v ^= w[f]
+		}
+		if n.Kind == netlist.KindXnor {
+			v = ^v
+		}
+		return v
+	}
+	return 0
+}

@@ -1,0 +1,317 @@
+package sim
+
+import (
+	"testing"
+
+	"virtualsync/internal/netlist"
+)
+
+// packedRandom builds lanes scalar stimulus sets with distinct seeds and
+// packs them, returning both forms.
+func packedRandom(t *testing.T, c *netlist.Circuit, cycles, lanes int) ([][][]bool, [][]uint64) {
+	t.Helper()
+	scalar := make([][][]bool, lanes)
+	for l := range scalar {
+		scalar[l] = RandomStimulus(c, cycles, int64(1000+l))
+	}
+	words, err := PackStimulus(scalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scalar, words
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	c := pipeline(t)
+	scalar, words := packedRandom(t, c, 12, 64)
+	for l := range scalar {
+		got := UnpackLane(words, l)
+		for cyc := range got {
+			for i := range got[cyc] {
+				if got[cyc][i] != scalar[l][cyc][i] {
+					t.Fatalf("lane %d cycle %d input %d: round trip lost %v", l, cyc, i, scalar[l][cyc][i])
+				}
+			}
+		}
+	}
+	if _, err := PackStimulus(nil); err == nil {
+		t.Fatal("packing 0 lanes should fail")
+	}
+	if _, err := PackStimulus(make([][][]bool, 65)); err == nil {
+		t.Fatal("packing 65 lanes should fail")
+	}
+	ragged := [][][]bool{{{true}}, {{true}, {false}}}
+	if _, err := PackStimulus(ragged); err == nil {
+		t.Fatal("packing ragged lanes should fail")
+	}
+}
+
+// compareAllLanes runs every lane's scalar stimulus through the event
+// engine and checks the corresponding BitTrace lane cycle for cycle.
+func compareAllLanes(t *testing.T, c *netlist.Circuit, T float64, cycles, warmup int, scalar [][][]bool, bt *BitTrace) {
+	t.Helper()
+	lib := lib31(t)
+	for l := range scalar {
+		s, err := New(c, lib, Options{T: T, Cycles: cycles})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := s.Run(scalar[l])
+		if err != nil {
+			t.Fatal(err)
+		}
+		lane, err := bt.Lane(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mm := CompareTraces(ref, lane, warmup); len(mm) != 0 {
+			t.Fatalf("lane %d diverges from event engine: %v", l, mm[0])
+		}
+	}
+}
+
+func TestBitSimMatchesEventPipeline(t *testing.T) {
+	c := pipeline(t)
+	if !BitSimExact(c) {
+		t.Fatal("phase-0 DFF pipeline should be BitSimExact")
+	}
+	const cycles = 16
+	scalar, words := packedRandom(t, c, cycles, 64)
+	bs, err := NewBit(c, BitOptions{Cycles: cycles, Lanes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := bs.Run(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareAllLanes(t, c, 10, cycles, 0, scalar, bt)
+}
+
+func TestBitSimXorFeedback(t *testing.T) {
+	// Sequential feedback through a phase-0 DFF: running parity.
+	c := netlist.New("par")
+	in := c.MustAdd("in", netlist.KindInput)
+	f1 := c.MustAdd("F1", netlist.KindDFF, in.ID)
+	x := c.MustAdd("x", netlist.KindXor, f1.ID, f1.ID)
+	f2 := c.MustAdd("F2", netlist.KindDFF, x.ID)
+	x.Fanins[1] = f2.ID
+	c.MustAdd("out", netlist.KindOutput, f2.ID)
+
+	const cycles = 20
+	scalar, words := packedRandom(t, c, cycles, 64)
+	bs, err := NewBit(c, BitOptions{Cycles: cycles, Lanes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := bs.Run(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareAllLanes(t, c, 10, cycles, 0, scalar, bt)
+}
+
+// latchMix is a circuit exercising non-zero clock phases: a phase-0.5
+// flip-flop, a mid-cycle latch, and a latch whose transparency window
+// wraps into the next cycle (phase 0.6 + duty 0.5 opens at 1.1).
+func latchMix(t testing.TB) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New("lm")
+	in := c.MustAdd("in", netlist.KindInput)
+	f0 := c.MustAdd("F0", netlist.KindDFF, in.ID)
+	g1 := c.MustAdd("g1", netlist.KindNot, f0.ID)
+	l1 := c.MustAdd("L1", netlist.KindLatch, g1.ID)
+	l1.Phase = 0.25
+	g2 := c.MustAdd("g2", netlist.KindBuf, l1.ID)
+	f1 := c.MustAdd("F1", netlist.KindDFF, g2.ID)
+	f1.Phase = 0.5
+	g3 := c.MustAdd("g3", netlist.KindNot, f1.ID)
+	l2 := c.MustAdd("L2", netlist.KindLatch, g3.ID)
+	l2.Phase = 0.6
+	c.MustAdd("out", netlist.KindOutput, l2.ID)
+	return c
+}
+
+func TestBitSimNonZeroLatchPhases(t *testing.T) {
+	c := latchMix(t)
+	if BitSimExact(c) {
+		t.Fatal("latch circuit must not claim exactness")
+	}
+	if !SupportsBitSim(c) {
+		t.Fatal("latch circuit should still be supported")
+	}
+	const cycles = 16
+	scalar, words := packedRandom(t, c, cycles, 64)
+	bs, err := NewBit(c, BitOptions{Duty: 0.5, Cycles: cycles, Lanes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := bs.Run(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At a period far above every gate delay, instants are separated by
+	// much more than any propagation path, so zero-delay two-phase
+	// semantics coincide with the event engine even through latches.
+	compareAllLanes(t, c, 10000, cycles, 1, scalar, bt)
+}
+
+func TestBitSimReusedAcrossRuns(t *testing.T) {
+	c := latchMix(t)
+	const cycles = 12
+	scalarA, wordsA := packedRandom(t, c, cycles, 64)
+	bs, err := NewBit(c, BitOptions{Cycles: cycles, Lanes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First run on different stimulus, then re-run on A: the reused
+	// buffers must not leak state between runs.
+	_, wordsB := packedRandom(t, c, cycles, 64)
+	for cyc := range wordsB {
+		for i := range wordsB[cyc] {
+			wordsB[cyc][i] = ^wordsB[cyc][i]
+		}
+	}
+	if _, err := bs.Run(wordsB); err != nil {
+		t.Fatal(err)
+	}
+	bt, err := bs.Run(wordsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareAllLanes(t, c, 10000, cycles, 1, scalarA, bt)
+}
+
+func TestBitSimLatchFeedbackDoesNotSettle(t *testing.T) {
+	// A latch fed by its own inverted output oscillates while open;
+	// BitSim must report the non-settling error instead of looping.
+	c := netlist.New("osc")
+	in := c.MustAdd("in", netlist.KindInput)
+	l := c.MustAdd("L", netlist.KindLatch, in.ID)
+	g := c.MustAdd("g", netlist.KindNot, l.ID)
+	l.Fanins[0] = g.ID
+	c.MustAdd("out", netlist.KindOutput, g.ID)
+
+	bs, err := NewBit(c, BitOptions{Cycles: 4, Lanes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := make([][]uint64, 4)
+	for i := range words {
+		words[i] = []uint64{0}
+	}
+	if _, err := bs.Run(words); err == nil {
+		t.Fatal("oscillating latch loop should fail to settle")
+	}
+}
+
+func TestBitTraceLaneBounds(t *testing.T) {
+	bt := &BitTrace{Lanes: 8, Words: map[string][]uint64{"x": {0xff}}}
+	if _, err := bt.Lane(8); err == nil {
+		t.Fatal("lane 8 of 8-lane trace should be out of range")
+	}
+	if _, err := bt.Lane(-1); err == nil {
+		t.Fatal("negative lane should be out of range")
+	}
+	tr, err := bt.Lane(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr["x"][0] {
+		t.Fatal("lane 7 bit lost")
+	}
+}
+
+func TestCompareBitTracesMask(t *testing.T) {
+	a := &BitTrace{Lanes: 4, Words: map[string][]uint64{"s": {0b0101, 0b0011}}}
+	b := &BitTrace{Lanes: 4, Words: map[string][]uint64{"s": {0b0101, 0b1010}, "extra": {1, 1}}}
+	if got := CompareBitTraces(a, b, 0); got != 0b1001 {
+		t.Fatalf("mismatch mask = %04b, want 1001", got)
+	}
+	if got := CompareBitTraces(a, b, 2); got != 0 {
+		t.Fatalf("warmup past divergence should clear mask, got %04b", got)
+	}
+	// Lanes beyond the smaller trace's count are ignored.
+	b.Lanes = 2
+	if got := CompareBitTracesMaskHelper(a, b); got != 0b01 {
+		t.Fatalf("clamped mask = %04b, want 01", got)
+	}
+}
+
+// CompareBitTracesMaskHelper exists to keep the clamping expectation
+// readable at the call site.
+func CompareBitTracesMaskHelper(a, b *BitTrace) uint64 { return CompareBitTraces(a, b, 0) }
+
+func TestEventSimulatorReusedAcrossRuns(t *testing.T) {
+	c := latchMix(t)
+	lib := lib31(t)
+	const cycles = 12
+	s, err := New(c, lib, Options{T: 10000, Cycles: cycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stimA := RandomStimulus(c, cycles, 5)
+	stimB := RandomStimulus(c, cycles, 6)
+	trA, err := s.Run(stimA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot A's trace before the buffers are reused.
+	snap := make(Trace, len(trA))
+	for name, row := range trA {
+		snap[name] = append([]bool(nil), row...)
+	}
+	if _, err := s.Run(stimB); err != nil {
+		t.Fatal(err)
+	}
+	trA2, err := s.Run(stimA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm := CompareTraces(snap, trA2, 0); len(mm) != 0 {
+		t.Fatalf("reused simulator diverges on identical stimulus: %v", mm[0])
+	}
+}
+
+func TestEventCoreAllocFree(t *testing.T) {
+	c := latchMix(t)
+	lib := lib31(t)
+	const cycles = 16
+	s, err := New(c, lib, Options{T: 10000, Cycles: cycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stim := RandomStimulus(c, cycles, 9)
+	if _, err := s.Run(stim); err != nil { // warm the buffers
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if _, err := s.Run(stim); err != nil {
+			t.Error(err)
+		}
+	})
+	if avg > 0.5 {
+		t.Fatalf("steady-state event-engine Run allocates %.1f objects, want 0", avg)
+	}
+}
+
+func TestBitSimAllocFree(t *testing.T) {
+	c := latchMix(t)
+	const cycles = 16
+	bs, err := NewBit(c, BitOptions{Cycles: cycles, Lanes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, words := packedRandom(t, c, cycles, 64)
+	if _, err := bs.Run(words); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if _, err := bs.Run(words); err != nil {
+			t.Error(err)
+		}
+	})
+	if avg > 0.5 {
+		t.Fatalf("steady-state BitSim Run allocates %.1f objects, want 0", avg)
+	}
+}

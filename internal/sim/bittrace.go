@@ -1,0 +1,116 @@
+package sim
+
+import "fmt"
+
+// BitTrace is the bit-parallel counterpart of Trace: Words[name][cycle]
+// packs one sampled bit per lane. Lane l of every word corresponds to
+// one complete scalar simulation, so a BitTrace converts losslessly to
+// Lanes independent Traces.
+type BitTrace struct {
+	Lanes int
+	Words map[string][]uint64
+}
+
+// laneMask returns a word with the low n lane bits set.
+func laneMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(n)) - 1
+}
+
+// Lane extracts one lane as a scalar Trace. The result is freshly
+// allocated and stays valid after the next Run.
+func (t *BitTrace) Lane(l int) (Trace, error) {
+	if l < 0 || l >= t.Lanes {
+		return nil, fmt.Errorf("sim: lane %d outside 0..%d", l, t.Lanes-1)
+	}
+	out := make(Trace, len(t.Words))
+	bit := uint(l)
+	for name, row := range t.Words {
+		tr := make([]bool, len(row))
+		for cyc, w := range row {
+			tr[cyc] = w>>bit&1 == 1
+		}
+		out[name] = tr
+	}
+	return out, nil
+}
+
+// CompareBitTraces compares every signal present in both traces from
+// cycle warmup onward and returns a mask with bit l set when lane l
+// disagrees anywhere. Lanes beyond the smaller of the two traces' lane
+// counts are ignored. A zero result means all common lanes agree.
+func CompareBitTraces(a, b *BitTrace, warmup int) uint64 {
+	lanes := a.Lanes
+	if b.Lanes < lanes {
+		lanes = b.Lanes
+	}
+	mask := laneMask(lanes)
+	var diff uint64
+	for name, ra := range a.Words {
+		rb, ok := b.Words[name]
+		if !ok {
+			continue
+		}
+		n := len(ra)
+		if len(rb) < n {
+			n = len(rb)
+		}
+		for cyc := warmup; cyc < n; cyc++ {
+			diff |= ra[cyc] ^ rb[cyc]
+		}
+	}
+	return diff & mask
+}
+
+// PackStimulus packs up to 64 scalar stimulus sets into lane words:
+// lanes[l][cycle][input] becomes bit l of words[cycle][input]. All lane
+// sets must have identical cycle count and input width; unused high
+// lanes are left zero.
+func PackStimulus(lanes [][][]bool) ([][]uint64, error) {
+	if len(lanes) == 0 || len(lanes) > 64 {
+		return nil, fmt.Errorf("sim: pack needs 1..64 lanes, got %d", len(lanes))
+	}
+	cycles := len(lanes[0])
+	var width int
+	if cycles > 0 {
+		width = len(lanes[0][0])
+	}
+	words := make([][]uint64, cycles)
+	for cyc := range words {
+		words[cyc] = make([]uint64, width)
+	}
+	for l, stim := range lanes {
+		if len(stim) != cycles {
+			return nil, fmt.Errorf("sim: lane %d has %d cycles, want %d", l, len(stim), cycles)
+		}
+		bit := uint64(1) << uint(l)
+		for cyc, vec := range stim {
+			if len(vec) != width {
+				return nil, fmt.Errorf("sim: lane %d cycle %d has %d inputs, want %d", l, cyc, len(vec), width)
+			}
+			for i, v := range vec {
+				if v {
+					words[cyc][i] |= bit
+				}
+			}
+		}
+	}
+	return words, nil
+}
+
+// UnpackLane extracts one lane's scalar stimulus from packed words — the
+// inverse of PackStimulus for that lane.
+func UnpackLane(words [][]uint64, lane int) [][]bool {
+	bit := uint(lane)
+	out := make([][]bool, len(words))
+	for cyc, vec := range words {
+		row := make([]bool, len(vec))
+		for i, w := range vec {
+			row[i] = w>>bit&1 == 1
+		}
+		out[cyc] = row
+	}
+	return out
+}

@@ -1,22 +1,28 @@
-// Package sim implements continuous-time event-driven logic simulation of
-// gate-level circuits with transport delays, edge-triggered flip-flops and
-// level-sensitive latches on phase-shifted clocks.
+// Package sim implements logic simulation of gate-level circuits for the
+// VirtualSync reproduction, with two engines sharing one trace format:
 //
-// Its purpose in the VirtualSync reproduction is functional verification:
-// an optimized circuit (with flip-flops removed and delay units inserted)
-// must latch exactly the same values at its boundary flip-flops and
-// primary outputs, in the same clock cycles, as the original circuit —
-// the paper's definition of preserved functionality.
+//   - an event-driven continuous-time engine (Simulator) with transport
+//     delays, edge-triggered flip-flops and level-sensitive latches on
+//     phase-shifted clocks — the authoritative timing-accurate oracle;
+//   - a levelized, two-phase, 64-lane bit-parallel engine (BitSim, see
+//     bitsim.go) for the synchronous zero-delay semantics the
+//     verification hot path needs, evaluating 64 independent stimulus
+//     vectors per machine word.
+//
+// Their purpose is functional verification: an optimized circuit (with
+// flip-flops removed and delay units inserted) must latch exactly the
+// same values at its boundary flip-flops and primary outputs, in the
+// same clock cycles, as the original circuit — the paper's definition of
+// preserved functionality.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"virtualsync/internal/celllib"
 	"virtualsync/internal/netlist"
+	"virtualsync/internal/prng"
 )
 
 // Options configures a simulation run.
@@ -35,7 +41,7 @@ type Options struct {
 // (value present at the end of the cycle).
 type Trace map[string][]bool
 
-type eventKind int
+type eventKind int32
 
 const (
 	evClock  eventKind = iota // flip-flop/latch clock action, PO sampling
@@ -43,59 +49,108 @@ const (
 	evSignal                  // gate/net value change
 )
 
+// event is a plain value: the queue stores events inline in a slice, so
+// scheduling allocates nothing once the backing array is warm.
 type event struct {
 	time  float64
-	kind  eventKind
 	seq   int64 // FIFO tie-break within same (time, kind)
 	node  netlist.NodeID
+	kind  eventKind
+	cycle int32
 	value bool
-	cycle int
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
+// eventLess is the queue priority: time, then kind, then FIFO order.
+func eventLess(a, b *event) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	if q[i].kind != q[j].kind {
-		return q[i].kind < q[j].kind
+	if a.kind != b.kind {
+		return a.kind < b.kind
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
-// Simulator drives one circuit.
+// eventQueue is a typed binary min-heap over an inline event arena. It
+// replaces container/heap to avoid interface{} boxing and the pointer
+// chasing of a *event heap; the slice is retained across runs.
+type eventQueue []event
+
+func (q *eventQueue) push(e event) {
+	*q = append(*q, e)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(&h[i], &h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	*q = h[:n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && eventLess(&h[l], &h[small]) {
+			small = l
+		}
+		if r < n && eventLess(&h[r], &h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top
+}
+
+// pendingInfo tracks, per node, the number of queued signal events and
+// the value of the latest-scheduled one, so projected() is O(1). It is
+// slice-backed (indexed by NodeID) instead of a map: count naturally
+// returns to zero as events drain, so cross-run reset is a memclr.
+type pendingInfo struct {
+	time  float64
+	seq   int64
+	count int32
+	value bool
+}
+
+// Simulator drives one circuit. A Simulator may be reused: Run resets
+// all internal state, and its buffers (event queue, pending index, value
+// and trace storage) are retained between runs, so steady-state
+// simulation performs no per-run allocations. The Trace returned by Run
+// aliases those buffers and is only valid until the next Run on the same
+// Simulator.
 type Simulator struct {
 	c       *netlist.Circuit
 	lib     *celllib.Library
 	opts    Options
+	inputs  []*netlist.Node
 	values  []bool
 	delays  []float64
 	fanouts [][]netlist.NodeID
 	queue   eventQueue
 	seq     int64
 	trace   Trace
+	pending []pendingInfo
 
-	// pending tracks, per node, the number of queued signal events and
-	// the value of the latest-scheduled one, so projected() is O(1).
-	pending map[netlist.NodeID]*pendingInfo
-}
-
-type pendingInfo struct {
-	count int
-	time  float64
-	seq   int64
-	value bool
+	// latchOpenAt maps each transparent latch to its opening-edge time;
+	// NaN-free: openValid gates validity. Slice-backed per NodeID.
+	latchOpenAt []float64
+	latchOpen   []bool
+	hasLatch    bool
 }
 
 // New prepares a simulator. The circuit must be structurally valid.
@@ -106,37 +161,67 @@ func New(c *netlist.Circuit, lib *celllib.Library, opts Options) (*Simulator, er
 	if opts.Duty <= 0 || opts.Duty >= 1 {
 		opts.Duty = 0.5
 	}
-	delays, err := func() ([]float64, error) {
-		d := make([]float64, len(c.Nodes))
-		var derr error
-		c.Live(func(n *netlist.Node) {
-			if derr != nil {
-				return
-			}
-			d[n.ID], derr = lib.Delay(n)
-		})
-		return d, derr
-	}()
-	if err != nil {
-		return nil, fmt.Errorf("sim: %v", err)
+	delays := make([]float64, len(c.Nodes))
+	hasLatch := false
+	for _, n := range c.Nodes {
+		if n.Dead() {
+			continue
+		}
+		var err error
+		if delays[n.ID], err = lib.Delay(n); err != nil {
+			return nil, fmt.Errorf("sim: %v", err)
+		}
+		if n.Kind == netlist.KindLatch {
+			hasLatch = true
+		}
 	}
 	return &Simulator{
-		c:       c,
-		lib:     lib,
-		opts:    opts,
-		values:  make([]bool, len(c.Nodes)),
-		delays:  delays,
-		fanouts: c.Fanouts(),
-		trace:   make(Trace),
-		pending: make(map[netlist.NodeID]*pendingInfo),
+		c:           c,
+		lib:         lib,
+		opts:        opts,
+		inputs:      c.Inputs(),
+		values:      make([]bool, len(c.Nodes)),
+		delays:      delays,
+		fanouts:     c.Fanouts(),
+		trace:       make(Trace),
+		pending:     make([]pendingInfo, len(c.Nodes)),
+		latchOpenAt: make([]float64, len(c.Nodes)),
+		latchOpen:   make([]bool, len(c.Nodes)),
+		hasLatch:    hasLatch,
 	}, nil
+}
+
+// reset returns the simulator to its power-on state while keeping every
+// buffer's backing storage for reuse.
+func (s *Simulator) reset() {
+	for i := range s.values {
+		s.values[i] = false
+	}
+	for i := range s.pending {
+		s.pending[i] = pendingInfo{}
+	}
+	for i := range s.latchOpen {
+		s.latchOpen[i] = false
+		s.latchOpenAt[i] = 0
+	}
+	s.queue = s.queue[:0]
+	s.seq = 0
+	for _, tr := range s.trace {
+		for i := range tr {
+			tr[i] = false
+		}
+	}
 }
 
 // Run simulates the circuit for opts.Cycles cycles with the given
 // per-cycle primary-input stimulus: stimulus[cycle][i] drives the i-th
 // input (ordered as c.Inputs()). It returns the captured trace.
+//
+// Run may be called repeatedly on the same Simulator; each call restarts
+// from the power-on state. The returned Trace shares storage with the
+// Simulator and is overwritten by the next Run.
 func (s *Simulator) Run(stimulus [][]bool) (Trace, error) {
-	inputs := s.c.Inputs()
+	inputs := s.inputs
 	if len(stimulus) < s.opts.Cycles {
 		return nil, fmt.Errorf("sim: stimulus covers %d of %d cycles", len(stimulus), s.opts.Cycles)
 	}
@@ -145,29 +230,30 @@ func (s *Simulator) Run(stimulus [][]bool) (Trace, error) {
 			return nil, fmt.Errorf("sim: cycle %d stimulus has %d values for %d inputs", cyc, len(vec), len(inputs))
 		}
 	}
+	s.reset()
 	T := s.opts.T
 
 	// Constants drive their value at time 0.
-	s.c.Live(func(n *netlist.Node) {
-		if n.Kind == netlist.KindConst1 {
+	for _, n := range s.c.Nodes {
+		if !n.Dead() && n.Kind == netlist.KindConst1 {
 			s.values[n.ID] = true
 		}
-	})
+	}
 
 	// Settle initial combinational values (all sequential outputs and
 	// inputs start at 0). Combinational loops may not stabilize; the
 	// pass count is bounded and any residue flushes during warmup.
 	for pass := 0; pass < len(s.c.Nodes)+2; pass++ {
 		changed := false
-		s.c.Live(func(n *netlist.Node) {
-			if !n.Kind.IsCombinational() {
-				return
+		for _, n := range s.c.Nodes {
+			if n.Dead() || !n.Kind.IsCombinational() {
+				continue
 			}
 			if v := evalGate(n, s.values); v != s.values[n.ID] {
 				s.values[n.ID] = v
 				changed = true
 			}
-		})
+		}
 		if !changed {
 			break
 		}
@@ -179,64 +265,66 @@ func (s *Simulator) Run(stimulus [][]bool) (Trace, error) {
 		// Primary-input changes at the cycle boundary (after the clock
 		// actions at the same instant, so edge-sampling sees old data).
 		for i, in := range inputs {
-			s.push(&event{time: base, kind: evInput, node: in.ID, value: stimulus[cyc][i], cycle: cyc})
+			s.push(event{time: base, kind: evInput, node: in.ID, value: stimulus[cyc][i], cycle: int32(cyc)})
 		}
 		// Flip-flop and latch clock actions; primary-output sampling.
-		s.c.Live(func(n *netlist.Node) {
+		for _, n := range s.c.Nodes {
+			if n.Dead() {
+				continue
+			}
 			switch n.Kind {
 			case netlist.KindDFF:
-				s.push(&event{time: base + n.Phase*T, kind: evClock, node: n.ID, cycle: cyc})
+				s.push(event{time: base + n.Phase*T, kind: evClock, node: n.ID, cycle: int32(cyc)})
 			case netlist.KindLatch:
 				open := base + n.Phase*T + s.opts.Duty*T
-				s.push(&event{time: base + n.Phase*T, kind: evClock, node: n.ID, cycle: cyc, value: false}) // close
-				s.push(&event{time: open, kind: evClock, node: n.ID, cycle: cyc, value: true})              // open
+				s.push(event{time: base + n.Phase*T, kind: evClock, node: n.ID, cycle: int32(cyc), value: false}) // close
+				s.push(event{time: open, kind: evClock, node: n.ID, cycle: int32(cyc), value: true})              // open
 			case netlist.KindOutput:
 				// Sample at the end of the cycle.
-				s.push(&event{time: base + T, kind: evClock, node: n.ID, cycle: cyc})
+				s.push(event{time: base + T, kind: evClock, node: n.ID, cycle: int32(cyc)})
 			}
-		})
+		}
 	}
 
-	// latchOpenAt maps each transparent latch to its opening-edge time;
-	// absent means closed. Pass-through responses are floored at
-	// open+tcq so data arriving just after the edge can never beat the
-	// opening-edge response itself (the transfer characteristic is
-	// max(open+tcq, in+tdq), matching core's delay-unit model).
-	latchOpenAt := make(map[netlist.NodeID]float64)
+	// Latch pass-through responses are floored at open+tcq so data
+	// arriving just after the edge can never beat the opening-edge
+	// response itself (the transfer characteristic is max(open+tcq,
+	// in+tdq), matching core's delay-unit model).
 	horizon := float64(s.opts.Cycles)*T + 10*T
-	for s.queue.Len() > 0 {
-		e := heap.Pop(&s.queue).(*event)
-		s.popped(e)
+	for len(s.queue) > 0 {
+		e := s.queue.pop()
+		s.popped(&e)
 		if e.time > horizon {
 			break
 		}
 		switch e.kind {
 		case evInput:
-			s.setValue(e.node, e.value, e.time, latchOpenAt)
+			s.setValue(e.node, e.value, e.time)
 		case evSignal:
-			s.setValue(e.node, e.value, e.time, latchOpenAt)
+			s.setValue(e.node, e.value, e.time)
 		case evClock:
 			n := s.c.Node(e.node)
 			switch n.Kind {
 			case netlist.KindDFF:
 				d := s.values[n.Fanins[0]]
-				s.capture(n.Name, e.cycle, d)
-				if d != s.projected(n.ID, e.time) {
-					s.push(&event{time: e.time + s.lib.FF.Tcq, kind: evSignal, node: n.ID, value: d})
+				s.capture(n.Name, int(e.cycle), d)
+				if d != s.projected(n.ID) {
+					s.push(event{time: e.time + s.lib.FF.Tcq, kind: evSignal, node: n.ID, value: d})
 				}
 			case netlist.KindLatch:
 				if e.value { // opening edge: propagate waiting data
-					latchOpenAt[n.ID] = e.time
+					s.latchOpen[n.ID] = true
+					s.latchOpenAt[n.ID] = e.time
 					d := s.values[n.Fanins[0]]
-					s.capture(n.Name, e.cycle, d)
-					if d != s.projected(n.ID, e.time) {
-						s.push(&event{time: e.time + s.lib.Latch.Tcq, kind: evSignal, node: n.ID, value: d})
+					s.capture(n.Name, int(e.cycle), d)
+					if d != s.projected(n.ID) {
+						s.push(event{time: e.time + s.lib.Latch.Tcq, kind: evSignal, node: n.ID, value: d})
 					}
 				} else {
-					delete(latchOpenAt, n.ID)
+					s.latchOpen[n.ID] = false
 				}
 			case netlist.KindOutput:
-				s.capture(n.Name, e.cycle, s.values[n.Fanins[0]])
+				s.capture(n.Name, int(e.cycle), s.values[n.Fanins[0]])
 			}
 		}
 	}
@@ -245,18 +333,14 @@ func (s *Simulator) Run(stimulus [][]bool) (Trace, error) {
 
 // push adds an event with a FIFO sequence number and indexes signal
 // events per node.
-func (s *Simulator) push(e *event) {
+func (s *Simulator) push(e event) {
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.queue, e)
+	s.queue.push(e)
 	if e.kind != evSignal {
 		return
 	}
-	p := s.pending[e.node]
-	if p == nil {
-		p = &pendingInfo{}
-		s.pending[e.node] = p
-	}
+	p := &s.pending[e.node]
 	p.count++
 	if e.time > p.time || (e.time == p.time && e.seq > p.seq) || p.count == 1 {
 		p.time, p.seq, p.value = e.time, e.seq, e.value
@@ -268,25 +352,22 @@ func (s *Simulator) popped(e *event) {
 	if e.kind != evSignal {
 		return
 	}
-	if p := s.pending[e.node]; p != nil {
+	if p := &s.pending[e.node]; p.count > 0 {
 		p.count--
-		if p.count <= 0 {
-			delete(s.pending, e.node)
-		}
 	}
 }
 
 // projected returns the value node id will have after all its pending
 // scheduled changes; used to suppress redundant events.
-func (s *Simulator) projected(id netlist.NodeID, now float64) bool {
-	if p := s.pending[id]; p != nil {
+func (s *Simulator) projected(id netlist.NodeID) bool {
+	if p := &s.pending[id]; p.count > 0 {
 		return p.value
 	}
 	return s.values[id]
 }
 
 // setValue applies a value change and propagates to fanouts.
-func (s *Simulator) setValue(id netlist.NodeID, v bool, now float64, latchOpenAt map[netlist.NodeID]float64) {
+func (s *Simulator) setValue(id netlist.NodeID, v bool, now float64) {
 	if s.values[id] == v {
 		return
 	}
@@ -299,17 +380,16 @@ func (s *Simulator) setValue(id netlist.NodeID, v bool, now float64, latchOpenAt
 		switch {
 		case n.Kind.IsCombinational():
 			nv := evalGate(n, s.values)
-			s.push(&event{time: now + s.delays[n.ID], kind: evSignal, node: n.ID, value: nv})
+			s.push(event{time: now + s.delays[n.ID], kind: evSignal, node: n.ID, value: nv})
 		case n.Kind == netlist.KindLatch:
-			openAt, open := latchOpenAt[n.ID]
-			if !open {
+			if !s.latchOpen[n.ID] {
 				break
 			}
 			t := now + s.lib.Latch.Tdq
-			if min := openAt + s.lib.Latch.Tcq; t < min {
+			if min := s.latchOpenAt[n.ID] + s.lib.Latch.Tcq; t < min {
 				t = min
 			}
-			s.push(&event{time: t, kind: evSignal, node: n.ID, value: v})
+			s.push(event{time: t, kind: evSignal, node: n.ID, value: v})
 		}
 	}
 }
@@ -363,15 +443,17 @@ func (s *Simulator) capture(name string, cycle int, v bool) {
 }
 
 // RandomStimulus generates a deterministic random input sequence for the
-// circuit's primary inputs.
+// circuit's primary inputs. Each call uses its own splittable generator
+// (internal/prng) seeded from seed, so concurrent fuzz workers neither
+// contend on shared PRNG state nor entangle each other's streams.
 func RandomStimulus(c *netlist.Circuit, cycles int, seed int64) [][]bool {
-	rng := rand.New(rand.NewSource(seed))
+	rng := prng.New(uint64(seed))
 	n := len(c.Inputs())
 	out := make([][]bool, cycles)
 	for i := range out {
 		vec := make([]bool, n)
 		for j := range vec {
-			vec[j] = rng.Intn(2) == 1
+			vec[j] = rng.Uint64()&1 == 1
 		}
 		out[i] = vec
 	}

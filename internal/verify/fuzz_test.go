@@ -5,7 +5,7 @@ package verify
 //
 //	go test -fuzz=FuzzOptimizeEquivalence -fuzztime=20s ./internal/verify
 //
-// (one target per invocation; make fuzz-short runs all three). The seeds
+// (one target per invocation; make fuzz-short runs them all). The seeds
 // below also execute as plain unit tests on every `go test`, so the
 // targets double as cheap smoke coverage of the decoder corners: empty
 // input, minimal default case, deep single stage, bypass+ring flags.
@@ -13,8 +13,10 @@ package verify
 import (
 	"testing"
 
+	"virtualsync/internal/celllib"
 	"virtualsync/internal/core"
 	"virtualsync/internal/gen"
+	"virtualsync/internal/sim"
 )
 
 func fuzzSeeds(f *testing.F) {
@@ -72,6 +74,65 @@ func FuzzLegalize(f *testing.F) {
 			}
 			if p.ChainDelay[i] < -1e-9 {
 				t.Fatalf("edge %d: negative chain delay %g", i, p.ChainDelay[i])
+			}
+		}
+	})
+}
+
+// FuzzBitSimAgainstEventSim is the differential target for the two
+// simulation engines themselves: on every decodable generated circuit
+// (phase-0 DFF originals, where zero-delay semantics are provably
+// exact), all 64 bit-parallel lanes must match an event-engine run of
+// the same stimulus cycle for cycle, including the pre-warmup prefix.
+func FuzzBitSimAgainstEventSim(f *testing.F) {
+	fuzzSeeds(f)
+	lib := celllib.Default()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := gen.DecodeCase(data)
+		if err != nil {
+			return
+		}
+		if !sim.BitSimExact(d.Circuit) {
+			t.Fatalf("generated original not BitSimExact")
+		}
+		rgn, err := core.Extract(d.Circuit, lib, core.ExtractOptions{SelectFrac: 1})
+		if err != nil {
+			return // no STA baseline: period choice undefined, skip
+		}
+		T := rgn.Baseline.MinPeriod * 1.05
+		seeds := gen.LaneSeeds(d.StimSeed, 64)
+		scalar := make([][][]bool, len(seeds))
+		for l, seed := range seeds {
+			scalar[l] = sim.RandomStimulus(d.Circuit, d.Cycles, seed)
+		}
+		words, err := sim.PackStimulus(scalar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs, err := sim.NewBit(d.Circuit, sim.BitOptions{Cycles: d.Cycles, Lanes: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bt, err := bs.Run(words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := sim.New(d.Circuit, lib, sim.Options{T: T, Cycles: d.Cycles})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l := range scalar {
+			ref, err := ev.Run(scalar[l])
+			if err != nil {
+				t.Fatal(err)
+			}
+			lane, err := bt.Lane(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mm := sim.CompareTraces(ref, lane, 0); len(mm) != 0 {
+				t.Fatalf("lane %d diverges from event engine at T=%g: %v\ncircuit:\n%s",
+					l, T, mm[0], d.Circuit.String())
 			}
 		}
 	})
