@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race cover fuzz-short bench bench-lp bench-sim
+.PHONY: check fmt vet build test race cover fuzz-short bench bench-lp bench-sim serve-smoke
 
 # The full pre-commit gate: formatting, vet, build, the whole test
 # suite, the race detector over every package, coverage floors, a short
-# differential-fuzzing pass with regression replay, and the simulation
-# engine benchmarks (throughput + allocs/op evidence in BENCH_sim.json).
-check: fmt vet build test race cover fuzz-short bench-sim
+# differential-fuzzing pass with regression replay, the daemon smoke
+# test, and the simulation engine benchmarks (throughput + allocs/op
+# evidence in BENCH_sim.json).
+check: fmt vet build test race cover fuzz-short serve-smoke bench-sim
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -23,14 +24,16 @@ test:
 
 # Race-instrumented run of the whole module. The LP branch-and-bound
 # time budget auto-scales under the race build tag (internal/lp/race_on.go)
-# so wall-clock slowdown does not change feasibility results.
+# so wall-clock slowdown does not change feasibility results. The
+# explicit -timeout covers the full-flow suite tests in internal/expt,
+# which can exceed go test's 10m default under race on a 1-CPU box.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Per-package coverage with floors on the load-bearing packages; a drop
 # below any floor fails the build. Floors are a few points under the
 # current numbers to absorb noise, not to excuse regressions.
-COVER_FLOORS = internal/core:80 internal/lp:85 internal/verify:78 internal/gen:75 internal/sim:85
+COVER_FLOORS = internal/core:80 internal/lp:85 internal/verify:78 internal/gen:75 internal/sim:85 internal/service:85
 
 cover:
 	@fail=0; \
@@ -70,6 +73,8 @@ bench:
 bench-lp:
 	$(GO) test -json -run '^$$' -bench 'LPSolve|SuiteParallel' -benchmem . > BENCH_lp.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_lp.json | sed 's/\"Output\":\"//;s/\\t/\t/g;s/\\n//' || true
+	@git diff --quiet -- BENCH_lp.json 2>/dev/null || \
+		echo "note: BENCH_lp.json changed — review the numbers and commit the update"
 
 # Simulation-engine benchmarks only, with machine-readable output in
 # BENCH_sim.json: event engine vs 64-lane bit-parallel engine on the
@@ -80,3 +85,12 @@ bench-lp:
 bench-sim:
 	$(GO) test -json -run '^$$' -bench 'EventSim|BitSim|VerifyEquivalence' -benchmem . > BENCH_sim.json
 	@grep -o '"Output":"Benchmark[^"]*\|"Output":"[^"]*ns/op[^"]*' BENCH_sim.json | sed 's/\"Output\":\"//;s/\\t/\t/g;s/\\n//' || true
+	@git diff --quiet -- BENCH_sim.json 2>/dev/null || \
+		echo "note: BENCH_sim.json changed — review the numbers and commit the update"
+
+# End-to-end self-test of the optimization daemon: starts vserved on an
+# ephemeral port, submits a job over HTTP, streams progress, checks the
+# result is byte-identical to the one-shot vsync CLI, and verifies the
+# cache and /metrics behavior on resubmission.
+serve-smoke:
+	$(GO) run ./cmd/vserved -smoke

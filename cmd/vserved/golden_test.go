@@ -1,0 +1,80 @@
+package main
+
+// Golden-file test pinning the exact bytes of the load-generator summary
+// report. The fixture is hand-written (no server run), so the test keeps
+// the layout stable without being sensitive to timing. Regenerate after
+// an intentional format change with
+//
+//	go test ./cmd/vserved -run TestGolden -update
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"virtualsync/internal/service"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+func checkGolden(t *testing.T, name string, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(want, []byte(got)) {
+		t.Errorf("output differs from %s (run with -update after intentional changes)\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// fixtureReport covers the formatting corners: mixed latency magnitudes
+// (sub-ms, ms, seconds), a few errors, and partial cache hits.
+func fixtureReport() *service.LoadReport {
+	lat := []time.Duration{
+		850 * time.Microsecond,
+		2 * time.Millisecond,
+		3 * time.Millisecond,
+		7 * time.Millisecond,
+		12 * time.Millisecond,
+		48 * time.Millisecond,
+		230 * time.Millisecond,
+		1450 * time.Millisecond,
+		2300 * time.Millisecond,
+		3125 * time.Millisecond,
+	}
+	return &service.LoadReport{
+		Requests:  12,
+		Errors:    2,
+		Clients:   4,
+		Wall:      4 * time.Second,
+		Latencies: lat,
+		CacheHits: 6,
+		Deduped:   2,
+	}
+}
+
+func TestGoldenLoadReport(t *testing.T) {
+	checkGolden(t, "load_report.txt", service.FormatLoadReport(fixtureReport()))
+}
+
+// TestGoldenLoadReportEmpty pins the zero-sample rendering (all requests
+// failed) so the formatter never divides by zero.
+func TestGoldenLoadReportEmpty(t *testing.T) {
+	rep := &service.LoadReport{Requests: 3, Errors: 3, Clients: 2, Wall: 500 * time.Millisecond}
+	checkGolden(t, "load_report_empty.txt", service.FormatLoadReport(rep))
+}

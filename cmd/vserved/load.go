@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"strings"
+
+	"virtualsync"
+	"virtualsync/internal/service"
+)
+
+// runLoadGen drives the closed-loop load generator against an already
+// running vserved instance and prints the summary report. Returns a
+// process exit code.
+func runLoadGen(url string, n, clients int, benches string, verify int) int {
+	var payloads []service.JobRequest
+	for _, name := range strings.Split(benches, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		c := virtualsync.GenerateBenchmark(name)
+		var buf bytes.Buffer
+		if err := virtualsync.WriteCircuit(&buf, c); err != nil {
+			return fatalf("load: %v", err)
+		}
+		payloads = append(payloads, service.JobRequest{
+			Netlist: buf.String(),
+			Name:    name,
+			Params:  service.Params{VerifyCycles: verify},
+		})
+	}
+	if len(payloads) == 0 {
+		return fatalf("load: -bench names no benchmarks")
+	}
+
+	rep, err := service.RunLoad(context.Background(), service.LoadConfig{
+		URL:      url,
+		Clients:  clients,
+		Requests: n,
+		Payloads: payloads,
+	})
+	if err != nil {
+		return fatalf("load: %v", err)
+	}
+	fmt.Print(service.FormatLoadReport(rep))
+	if rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "vserved: load: %d of %d requests failed\n", rep.Errors, rep.Requests)
+		return 1
+	}
+	return 0
+}

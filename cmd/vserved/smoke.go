@@ -1,0 +1,244 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+
+	"virtualsync"
+	"virtualsync/internal/service"
+)
+
+// smokeBench is the circuit the self-test optimizes: the smallest of the
+// paper suite, ~3s end to end.
+const smokeBench = "s5378"
+
+// runSmoke starts the server on an ephemeral port, drives one job over
+// real HTTP (submit, stream at least one progress event, fetch the
+// result), checks the returned netlist is byte-identical to the one-shot
+// vsync pipeline on the same input, resubmits to verify a cache hit with
+// no new solver pivots, and asserts the /metrics exposition. Returns a
+// process exit code.
+func runSmoke(cfg service.Config) int {
+	srv := service.New(context.Background(), cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fatalf("smoke: %v", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serve-smoke: daemon on %s\n", base)
+
+	circuit := virtualsync.GenerateBenchmark(smokeBench)
+	var netlistText bytes.Buffer
+	if err := virtualsync.WriteCircuit(&netlistText, circuit); err != nil {
+		return fatalf("smoke: %v", err)
+	}
+	body, _ := json.Marshal(service.JobRequest{
+		Netlist: netlistText.String(),
+		Name:    smokeBench,
+	})
+
+	// Submit.
+	st, err := postJob(base, body)
+	if err != nil {
+		return fatalf("smoke: submit: %v", err)
+	}
+	fmt.Printf("serve-smoke: job %s %s\n", st.ID, st.State)
+
+	// Stream progress: require at least one event before the terminal one.
+	events, err := streamEvents(base, st.ID)
+	if err != nil {
+		return fatalf("smoke: events: %v", err)
+	}
+	solving := 0
+	for _, ev := range events {
+		if ev.Stage == service.StageSolving || ev.Stage == service.StageLegalizing {
+			solving++
+		}
+	}
+	if len(events) < 2 || solving == 0 {
+		return fatalf("smoke: expected streamed progress events, got %d (%d solving)", len(events), solving)
+	}
+	fmt.Printf("serve-smoke: streamed %d events (%d solving/legalizing)\n", len(events), solving)
+
+	// Fetch the result.
+	st, err = getStatus(base, st.ID)
+	if err != nil {
+		return fatalf("smoke: status: %v", err)
+	}
+	if st.State != service.StateDone || st.Result == nil {
+		return fatalf("smoke: job ended %s (%s)", st.State, st.Error)
+	}
+
+	// Byte-identity with the one-shot pipeline on the same input.
+	oneShot, err := oneShotNetlist(netlistText.String())
+	if err != nil {
+		return fatalf("smoke: one-shot reference: %v", err)
+	}
+	if st.Result.Netlist != oneShot {
+		return fatalf("smoke: service result differs from one-shot vsync pipeline (%d vs %d bytes)",
+			len(st.Result.Netlist), len(oneShot))
+	}
+	fmt.Printf("serve-smoke: result byte-identical to one-shot pipeline (%d bytes, T %.2f -> %.2f)\n",
+		len(oneShot), st.Result.BaselinePeriod, st.Result.Period)
+
+	// Resubmit: must be a cache hit with no new solver pivots.
+	pivotsBefore, err := scrapeMetric(base, "vsync_solver_pivots_total")
+	if err != nil {
+		return fatalf("smoke: %v", err)
+	}
+	st2, err := postJob(base, body)
+	if err != nil {
+		return fatalf("smoke: resubmit: %v", err)
+	}
+	if !st2.CacheHit || st2.State != service.StateDone || st2.Result == nil {
+		return fatalf("smoke: resubmission not served from cache (state %s, cache_hit %v)", st2.State, st2.CacheHit)
+	}
+	if st2.Result.Netlist != st.Result.Netlist {
+		return fatalf("smoke: cached result differs from original")
+	}
+	pivotsAfter, err := scrapeMetric(base, "vsync_solver_pivots_total")
+	if err != nil {
+		return fatalf("smoke: %v", err)
+	}
+	if pivotsAfter != pivotsBefore {
+		return fatalf("smoke: cached resubmission spent solver pivots (%v -> %v)", pivotsBefore, pivotsAfter)
+	}
+	hits, err := scrapeMetric(base, "vsync_cache_hits_total")
+	if err != nil {
+		return fatalf("smoke: %v", err)
+	}
+	if hits < 1 {
+		return fatalf("smoke: cache hit counter is %v, want >= 1", hits)
+	}
+	fmt.Printf("serve-smoke: cache hit served identical bytes, pivots unchanged (%v)\n", pivotsBefore)
+
+	done, err := scrapeMetric(base, `vsync_jobs_completed_total{state="done"}`)
+	if err != nil {
+		return fatalf("smoke: %v", err)
+	}
+	if done < 1 {
+		return fatalf("smoke: /metrics reports %v completed jobs, want >= 1", done)
+	}
+	executed, err := scrapeMetric(base, "vsync_jobs_executed_total")
+	if err != nil {
+		return fatalf("smoke: %v", err)
+	}
+	if executed != 1 {
+		return fatalf("smoke: pipeline ran %v times for identical submissions, want exactly 1", executed)
+	}
+	fmt.Printf("serve-smoke: metrics ok (completed=%v executed=%v cache_hits=%v)\n", done, executed, hits)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fatalf("smoke: shutdown: %v", err)
+	}
+	fmt.Println("serve-smoke: OK")
+	return 0
+}
+
+// oneShotNetlist runs the identical pipeline the vsync CLI runs on the
+// same input text and returns the emitted netlist bytes.
+func oneShotNetlist(netlistText string) (string, error) {
+	c, err := virtualsync.LoadCircuit(strings.NewReader(netlistText), smokeBench)
+	if err != nil {
+		return "", err
+	}
+	lib := virtualsync.DefaultLibrary()
+	b, err := virtualsync.RetimeAndSize(c, lib)
+	if err != nil {
+		return "", err
+	}
+	res, err := virtualsync.Optimize(b.Circuit, lib, virtualsync.DefaultOptions())
+	if err != nil {
+		return "", err
+	}
+	var out bytes.Buffer
+	if err := virtualsync.WriteCircuit(&out, res.Circuit); err != nil {
+		return "", err
+	}
+	return out.String(), nil
+}
+
+func postJob(base string, body []byte) (service.JobStatus, error) {
+	var st service.JobStatus
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return st, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+func getStatus(base, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// streamEvents follows the NDJSON stream until the server closes it at
+// the job's terminal state.
+func streamEvents(base, id string) ([]service.Event, error) {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	var events []service.Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev service.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	return events, sc.Err()
+}
+
+// scrapeMetric fetches /metrics and returns the value of one sample
+// (name with optional {labels}).
+func scrapeMetric(base, sample string) (float64, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(sample) + ` (\S+)$`)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if m := re.FindStringSubmatch(sc.Text()); m != nil {
+			return strconv.ParseFloat(m[1], 64)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return 0, fmt.Errorf("metric %s not found in /metrics", sample)
+}

@@ -74,6 +74,9 @@ func main() {
 	fmt.Printf("  removed FFs: %d; inserted: %d FF units, %d latch units, %d buffers (%d chains replaced)\n",
 		res.RemovedFFs, res.NumFFUnits, res.NumLatchUnits, res.NumBuffers, res.BufferReplaced)
 	fmt.Printf("  area: %.1f -> %.1f (%+.2f%%)\n", res.BaselineArea, res.Area, res.AreaDeltaPct())
+	fmt.Printf("  solver: %d pivots, %d B&B nodes, warm-start rate %.0f%% (%d warm / %d cold)\n",
+		res.Solver.Pivots(), res.Solver.Nodes, 100*res.Solver.WarmHitRate(),
+		res.Solver.WarmStarts, res.Solver.ColdStarts)
 	fmt.Printf("  runtime: %v\n", res.Runtime)
 
 	if *verify > 0 {

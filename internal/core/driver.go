@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"virtualsync/internal/celllib"
+	"virtualsync/internal/lp"
 	"virtualsync/internal/netlist"
 )
 
@@ -44,6 +45,11 @@ type Result struct {
 	// InsertedArea is the area of inserted units and buffers after
 	// replacement.
 	InsertedArea float64
+
+	// Solver totals the LP/MIP work behind this result — simplex pivots,
+	// warm-start reuse, branch-and-bound nodes — summed over every solve
+	// of the period search (or of the single target period).
+	Solver lp.Stats
 
 	Runtime time.Duration
 }
@@ -130,6 +136,7 @@ func optimizeExtracted(ctx context.Context, r *Region, c *netlist.Circuit, lib *
 	}
 	nf, nl := plan.NumUnits()
 	return &Result{
+		Solver:         r.SolverStats(),
 		Plan:           plan,
 		Circuit:        circuit,
 		Period:         T,
@@ -165,6 +172,30 @@ func Optimize(c *netlist.Circuit, lib *celllib.Library, opts Options, stepFrac f
 // cancellation before every probed period and inside the legalization
 // rounds, returning ctx.Err() when the context ends.
 func OptimizeCtx(ctx context.Context, c *netlist.Circuit, lib *celllib.Library, opts Options, stepFrac float64) (*Result, error) {
+	return OptimizeObserved(ctx, c, lib, opts, stepFrac, nil)
+}
+
+// ProgressEvent is one step of the period search as reported to an
+// OptimizeObserved observer.
+type ProgressEvent struct {
+	// Stage is "probe" during the coarse descent, "refine" during the
+	// fine search, and "replace" for the final buffer-replacement rerun.
+	Stage    string
+	T        float64 // period attempted
+	Feasible bool
+	// Solver holds the cumulative LP/MIP work counters up to and
+	// including this step.
+	Solver lp.Stats
+}
+
+// ProgressFunc observes period-search progress. It is called synchronously
+// from the search goroutine and must not block for long.
+type ProgressFunc func(ProgressEvent)
+
+// OptimizeObserved is OptimizeCtx with a progress observer: obs (when
+// non-nil) receives one event per probed period and one for the final
+// buffer-replacement pass, carrying cumulative solver work counters.
+func OptimizeObserved(ctx context.Context, c *netlist.Circuit, lib *celllib.Library, opts Options, stepFrac float64, obs ProgressFunc) (*Result, error) {
 	if stepFrac <= 0 {
 		stepFrac = 0.005
 	}
@@ -186,7 +217,7 @@ func OptimizeCtx(ctx context.Context, c *netlist.Circuit, lib *celllib.Library, 
 	// it. Isolated infeasible steps can be buffer-quantization artifacts,
 	// so each stage tolerates a few consecutive failures before stopping.
 	var prev *Plan
-	tryAt := func(T float64) (*Result, error) {
+	tryAt := func(stage string, T float64) (*Result, error) {
 		if T <= 0 {
 			return nil, nil
 		}
@@ -203,6 +234,9 @@ func OptimizeCtx(ctx context.Context, c *netlist.Circuit, lib *celllib.Library, 
 			prev = res.Plan
 		}
 		debugf("T=%.2f feasible=%v hint=%v in %v", T, res != nil, prev != nil, time.Since(t0).Round(time.Millisecond))
+		if obs != nil && err == nil {
+			obs(ProgressEvent{Stage: stage, T: T, Feasible: res != nil, Solver: r.SolverStats()})
+		}
 		return res, err
 	}
 	coarse := stepFrac * 8
@@ -213,7 +247,7 @@ func OptimizeCtx(ctx context.Context, c *netlist.Circuit, lib *celllib.Library, 
 		if frac >= 1 {
 			break
 		}
-		res, err := tryAt(T0 * (1 - frac))
+		res, err := tryAt("probe", T0*(1-frac))
 		if err != nil {
 			return nil, err
 		}
@@ -231,7 +265,7 @@ func OptimizeCtx(ctx context.Context, c *netlist.Circuit, lib *celllib.Library, 
 		if frac >= 1 {
 			break
 		}
-		res, err := tryAt(T0 * (1 - frac))
+		res, err := tryAt("refine", T0*(1-frac))
 		if err != nil {
 			return nil, err
 		}
@@ -246,6 +280,9 @@ func OptimizeCtx(ctx context.Context, c *netlist.Circuit, lib *celllib.Library, 
 		return nil, fmt.Errorf("core: no feasible VirtualSync solution near the baseline period %g", T0)
 	}
 	if opts.BufferReplace {
+		if obs != nil {
+			obs(ProgressEvent{Stage: "replace", T: best.Period, Feasible: true, Solver: r.SolverStats()})
+		}
 		// Re-run the winning period once with the area-recovery pass.
 		res, err := optimizeExtracted(ctx, r, c, lib, best.Period, opts, prev, true)
 		if err != nil {
@@ -256,6 +293,7 @@ func OptimizeCtx(ctx context.Context, c *netlist.Circuit, lib *celllib.Library, 
 		}
 	}
 	best.BaselinePeriod = T0
+	best.Solver = r.SolverStats()
 	best.Runtime = time.Since(start)
 	return best, nil
 }

@@ -549,6 +549,7 @@ func (r *Region) solveSpec(ctx context.Context, spec *modelSpec) (*modelVars, *l
 		return nil, nil, err
 	}
 	sol, err := mv.m.SolveOpts(ctx, lp.SolveOptions{Warm: spec.warm})
+	r.addSolverStats(sol)
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, nil, ctx.Err()

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"virtualsync/internal/celllib"
+	"virtualsync/internal/lp"
 	"virtualsync/internal/netlist"
 	"virtualsync/internal/sta"
 )
@@ -89,6 +91,31 @@ type Region struct {
 	// period can never drop below it (unguarded; apply the ru margin for
 	// comparisons with model targets).
 	ExternalPeriod float64
+
+	// solver accumulates LP/MIP work counters over every solveSpec call
+	// on this region (all pipeline phases, retargets and discretization
+	// repair solves). statsMu keeps the accounting safe if callers ever
+	// drive region solves from more than one goroutine.
+	statsMu sync.Mutex
+	solver  lp.Stats
+}
+
+// SolverStats returns a snapshot of the LP/MIP work counters accumulated
+// across every solve performed on this region so far.
+func (r *Region) SolverStats() lp.Stats {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	return r.solver
+}
+
+// addSolverStats folds one solution's counters into the region totals.
+func (r *Region) addSolverStats(sol *lp.Solution) {
+	if sol == nil {
+		return
+	}
+	r.statsMu.Lock()
+	r.solver.Add(sol.Stats)
+	r.statsMu.Unlock()
 }
 
 // ExtractOptions controls critical-part selection.

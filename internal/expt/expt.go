@@ -22,6 +22,7 @@ import (
 	"virtualsync/internal/core"
 	"virtualsync/internal/gen"
 	"virtualsync/internal/retime"
+	"virtualsync/internal/service"
 	"virtualsync/internal/sim"
 	"virtualsync/internal/sizing"
 	"virtualsync/internal/sta"
@@ -214,26 +215,22 @@ func RunSuite(ctx context.Context, names []string, cfg Config) ([]*CircuitResult
 
 	rows := make([]*CircuitResult, len(specs))
 	errs := make([]error, len(specs))
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				rows[i], errs[i] = RunCircuit(ctx, specs[i], cfg)
-			}
-		}()
-	}
+	// The worker pool is the service scheduler (the plumbing started
+	// here and was lifted into internal/service for the daemon). Queue
+	// capacity covers the whole suite, so every submission is accepted
+	// up front and Drain waits for the last circuit.
+	sched := service.NewScheduler(ctx, workers, len(specs))
 	// Feed circuits largest-first (node count is a faithful wall-time
 	// proxy): the longest job starts immediately instead of landing on a
 	// lone worker at the end, which is the classic makespan pathology of
 	// in-order scheduling. Results stay in suite order regardless.
 	for _, i := range scheduleOrder(specs) {
-		next <- i
+		i := i
+		sched.TrySubmit(func(tctx context.Context) {
+			rows[i], errs[i] = RunCircuit(tctx, specs[i], cfg)
+		})
 	}
-	close(next)
-	wg.Wait()
+	sched.Drain(context.Background())
 
 	out := make([]*CircuitResult, 0, len(specs))
 	for _, r := range rows {

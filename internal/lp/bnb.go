@@ -214,7 +214,7 @@ func (m *Model) SolveOpts(ctx context.Context, o SolveOptions) (*Solution, error
 				continue
 			}
 			if r.res != nil {
-				total.add(r.res.stats)
+				total.Add(r.res.stats)
 			}
 			if r.err != nil {
 				if r.err == errCanceled {

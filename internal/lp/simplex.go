@@ -70,7 +70,10 @@ func (s Stats) WarmHitRate() float64 {
 	return float64(s.WarmStarts) / float64(total)
 }
 
-func (s *Stats) add(o Stats) {
+// Add accumulates another solve's counters into s. Callers that track
+// solver work across many solves (the core driver, the service metrics)
+// sum per-solve Stats with it.
+func (s *Stats) Add(o Stats) {
 	s.Phase1Pivots += o.Phase1Pivots
 	s.Phase2Pivots += o.Phase2Pivots
 	s.BoundFlips += o.BoundFlips

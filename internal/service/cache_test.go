@@ -1,0 +1,179 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"virtualsync/internal/celllib"
+	"virtualsync/internal/netlist"
+)
+
+const keyBench = `
+INPUT(a)
+INPUT(b)
+f1 = DFF(a)
+f2 = DFF(b)
+g1 = NAND(f1, f2)
+g2 = NOT(g1)
+f3 = DFF(g2)
+OUTPUT(f3)
+`
+
+// Same circuit, reformatted: comments, blank lines, different
+// declaration order, different circuit name at parse time.
+const keyBenchReformatted = `
+# the same tiny pipeline, shuffled
+INPUT(b)
+
+INPUT(a)
+f2 = DFF(b)
+f1 = DFF(a)
+
+g1 = NAND(f1, f2)
+g2 = NOT(g1)   # inverter
+f3 = DFF(g2)
+OUTPUT(f3)
+`
+
+func parseBench(t *testing.T, text, name string) *netlist.Circuit {
+	t.Helper()
+	c, err := netlist.Parse(strings.NewReader(text), name)
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	return c
+}
+
+func TestCacheKeyCanonicalizesFormatting(t *testing.T) {
+	lib := celllib.Default()
+	p := Params{}.Normalize()
+	k1, err := CacheKey(parseBench(t, keyBench, "alpha"), lib, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := CacheKey(parseBench(t, keyBenchReformatted, "beta"), lib, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("reformatted identical circuit hashed differently:\n%s\n%s", k1, k2)
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	lib := celllib.Default()
+	base := Params{}.Normalize()
+	c := parseBench(t, keyBench, "alpha")
+	k0, err := CacheKey(c, lib, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Any semantic change must move the key.
+	cases := []struct {
+		name string
+		key  func() (string, error)
+	}{
+		{"circuit", func() (string, error) {
+			alt := strings.Replace(keyBench, "NAND", "NOR", 1)
+			return CacheKey(parseBench(t, alt, "alpha"), lib, base)
+		}},
+		{"step_frac", func() (string, error) {
+			p := base
+			p.StepFrac = 0.01
+			return CacheKey(c, lib, p)
+		}},
+		{"select_frac", func() (string, error) {
+			p := base
+			p.SelectFrac = 0.9
+			return CacheKey(c, lib, p)
+		}},
+		{"use_latches", func() (string, error) {
+			f := false
+			p := base
+			p.UseLatches = &f
+			return CacheKey(c, lib, p)
+		}},
+		{"verify_cycles", func() (string, error) {
+			p := base
+			p.VerifyCycles = 16
+			return CacheKey(c, lib, p)
+		}},
+		{"library", func() (string, error) {
+			alt := celllib.Uniform(4,
+				celllib.SeqTiming{Tcq: 3, Tsu: 1, Th: 1, Area: 4},
+				celllib.SeqTiming{Tcq: 2, Tdq: 1, Tsu: 1, Th: 1, Area: 3})
+			return CacheKey(c, alt, base)
+		}},
+	}
+	seen := map[string]string{k0: "base"}
+	for _, tc := range cases {
+		k, err := tc.key()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%s collides with %s", tc.name, prev)
+		}
+		seen[k] = tc.name
+	}
+
+	// The deadline is scheduling policy, not content: it must NOT move
+	// the key.
+	p := base
+	p.TimeoutMS = 12345
+	k, err := CacheKey(c, lib, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != k0 {
+		t.Error("timeout_ms changed the cache key; identical work would re-run")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	r := func(i int) *JobResult { return &JobResult{RuntimeMS: int64(i)} }
+	c.Put("a", r(1))
+	c.Put("b", r(2))
+	if _, ok := c.Get("a"); !ok { // refresh a: now b is least recent
+		t.Fatal("a missing")
+	}
+	c.Put("c", r(3))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as least recently used")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted despite being recently used")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+}
+
+func TestCachePutOverwrites(t *testing.T) {
+	c := NewCache(4)
+	c.Put("k", &JobResult{RuntimeMS: 1})
+	c.Put("k", &JobResult{RuntimeMS: 2})
+	got, ok := c.Get("k")
+	if !ok || got.RuntimeMS != 2 {
+		t.Fatalf("Get after overwrite = %+v, %v; want RuntimeMS 2", got, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheCapacityFloor(t *testing.T) {
+	c := NewCache(0) // clamps to 1
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("k%d", i), &JobResult{})
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}

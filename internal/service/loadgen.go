@@ -1,0 +1,234 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LoadConfig drives RunLoad, the closed-loop load generator: Clients
+// goroutines each submit a job, poll it to a terminal state, record the
+// end-to-end latency, and immediately submit the next one until
+// Requests submissions have been issued in total.
+type LoadConfig struct {
+	// URL is the server base, e.g. "http://127.0.0.1:8080".
+	URL string
+	// Clients is the closed-loop concurrency (default 4).
+	Clients int
+	// Requests is the total number of submissions (default 32).
+	Requests int
+	// Payloads are the request bodies to cycle through round-robin. At
+	// least one is required; repeats are what exercises the result cache.
+	Payloads []JobRequest
+	// PollInterval is the status-poll spacing (default 25ms).
+	PollInterval time.Duration
+	// Client overrides the HTTP client (default http.DefaultClient).
+	Client *http.Client
+}
+
+// LoadReport aggregates one load run.
+type LoadReport struct {
+	Requests int           // submissions issued
+	Errors   int           // transport errors, non-2xx, failed/timeout jobs
+	Clients  int           // closed-loop concurrency
+	Wall     time.Duration // whole-run wall time
+
+	Latencies []time.Duration // per successful request, submit → terminal
+
+	CacheHits int // jobs served from the result cache
+	Deduped   int // jobs attached to an identical in-flight submission
+}
+
+// Throughput returns successful requests per second of wall time.
+func (r *LoadReport) Throughput() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(len(r.Latencies)) / r.Wall.Seconds()
+}
+
+// Percentile returns the p-th latency percentile (p in [0,100]) by the
+// nearest-rank method, or 0 with no samples.
+func (r *LoadReport) Percentile(p float64) time.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), r.Latencies...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// FormatLoadReport renders the load summary (golden-tested; keep the
+// layout stable or update the fixtures).
+func FormatLoadReport(r *LoadReport) string {
+	var b strings.Builder
+	ok := len(r.Latencies)
+	fmt.Fprintf(&b, "load: %d requests (%d ok, %d errors), %d clients, %.2fs wall\n",
+		r.Requests, ok, r.Errors, r.Clients, r.Wall.Seconds())
+	fmt.Fprintf(&b, "  throughput: %.2f req/s\n", r.Throughput())
+	fmt.Fprintf(&b, "  latency:    p50 %s  p90 %s  p99 %s  max %s\n",
+		fmtDur(r.Percentile(50)), fmtDur(r.Percentile(90)),
+		fmtDur(r.Percentile(99)), fmtDur(r.Percentile(100)))
+	hitPct := 0.0
+	if ok > 0 {
+		hitPct = 100 * float64(r.CacheHits) / float64(ok)
+	}
+	fmt.Fprintf(&b, "  cache:      %d/%d hits (%.1f%%), %d deduplicated in flight\n",
+		r.CacheHits, ok, hitPct, r.Deduped)
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0ms"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.0fms", float64(d)/float64(time.Millisecond))
+	}
+	return fmt.Sprintf("%.2fs", d.Seconds())
+}
+
+// RunLoad executes the closed loop against a running server and
+// aggregates the report. Individual request failures are counted, not
+// fatal; RunLoad errors only on a misconfiguration.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	if cfg.URL == "" {
+		return nil, fmt.Errorf("service: load: empty URL")
+	}
+	if len(cfg.Payloads) == 0 {
+		return nil, fmt.Errorf("service: load: no payloads")
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 32
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 25 * time.Millisecond
+	}
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	base := strings.TrimSuffix(cfg.URL, "/")
+
+	bodies := make([][]byte, len(cfg.Payloads))
+	for i, p := range cfg.Payloads {
+		b, err := json.Marshal(p)
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+
+	rep := &LoadReport{Clients: cfg.Clients}
+	var mu sync.Mutex
+	next := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				lat, st, err := oneRequest(ctx, client, base, bodies[i%len(bodies)], cfg.PollInterval)
+				mu.Lock()
+				if err != nil {
+					rep.Errors++
+				} else {
+					rep.Latencies = append(rep.Latencies, lat)
+					if st.CacheHit {
+						rep.CacheHits++
+					}
+					if st.Deduped {
+						rep.Deduped++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for i := 0; i < cfg.Requests; i++ {
+		select {
+		case next <- i:
+			rep.Requests++
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	rep.Wall = time.Since(start)
+	return rep, nil
+}
+
+// oneRequest submits one job and follows it to a terminal state.
+func oneRequest(ctx context.Context, client *http.Client, base string, body []byte, poll time.Duration) (time.Duration, JobStatus, error) {
+	start := time.Now()
+	var st JobStatus
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return 0, st, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, st, err
+	}
+	err = decodeChecked(resp, &st)
+	if err != nil {
+		return 0, st, err
+	}
+	for !isTerminal(st.State) {
+		select {
+		case <-ctx.Done():
+			return 0, st, ctx.Err()
+		case <-time.After(poll):
+		}
+		preq, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+st.ID, nil)
+		if err != nil {
+			return 0, st, err
+		}
+		presp, err := client.Do(preq)
+		if err != nil {
+			return 0, st, err
+		}
+		if err := decodeChecked(presp, &st); err != nil {
+			return 0, st, err
+		}
+	}
+	if st.State != StateDone {
+		return 0, st, fmt.Errorf("job %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+	return time.Since(start), st, nil
+}
+
+func decodeChecked(resp *http.Response, v any) error {
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode/100 != 2 {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -1,0 +1,109 @@
+package service
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Total jobs.")
+	v := r.CounterVec("jobs_by_state_total", "Jobs by state.", "state")
+	r.Gauge("queue_depth", "Pending jobs.", func() float64 { return 3 })
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1, 10})
+
+	c.Add(2)
+	c.Inc()
+	v.With("done").Inc()
+	v.With("done").Inc()
+	v.With("canceled").Inc()
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(42)
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP jobs_total Total jobs.
+# TYPE jobs_total counter
+jobs_total 3
+# HELP jobs_by_state_total Jobs by state.
+# TYPE jobs_by_state_total counter
+jobs_by_state_total{state="canceled"} 1
+jobs_by_state_total{state="done"} 2
+# HELP queue_depth Pending jobs.
+# TYPE queue_depth gauge
+queue_depth 3
+# HELP latency_seconds Latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.1"} 1
+latency_seconds_bucket{le="1"} 2
+latency_seconds_bucket{le="10"} 2
+latency_seconds_bucket{le="+Inf"} 3
+latency_seconds_sum 42.55
+latency_seconds_count 3
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n", "")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("Value = %v, want 8000 (lost updates)", got)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate metric name did not panic")
+		}
+	}()
+	r.Gauge("dup", "", func() float64 { return 0 })
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending bounds did not panic")
+		}
+	}()
+	r.Histogram("h", "", []float64{1, 1})
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{3, "3"},
+		{-2, "-2"},
+		{0.25, "0.25"},
+		{1e15, "1e+15"},
+	}
+	for _, tc := range cases {
+		if got := formatValue(tc.in); got != tc.want {
+			t.Errorf("formatValue(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// chainBench builds a unique tiny pipeline: a register-bounded chain of
+// n inverters. Distinct lengths give distinct cache keys.
+func chainBench(n int) string {
+	var b strings.Builder
+	b.WriteString("INPUT(a)\nf1 = DFF(a)\n")
+	prev := "f1"
+	for i := 0; i < n; i++ {
+		g := fmt.Sprintf("g%d", i)
+		fmt.Fprintf(&b, "%s = NOT(%s)\n", g, prev)
+		prev = g
+	}
+	fmt.Fprintf(&b, "f2 = DFF(%s)\nOUTPUT(f2)\n", prev)
+	return b.String()
+}
+
+// TestShutdownDrainsUnderLoad submits a burst of distinct jobs and shuts
+// down while they are queued and running: every accepted job must still
+// reach done exactly once — none lost, none duplicated. Run with -race.
+func TestShutdownDrainsUnderLoad(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 3
+	cfg.QueueCap = 32
+	srv, ts := newTestServer(t, cfg)
+
+	const n = 12
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		st, code := submitJob(t, ts, JobRequest{Netlist: chainBench(i + 2)})
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d", i, code)
+		}
+		ids[i] = st.ID
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	for i, id := range ids {
+		st := getJob(t, ts, id)
+		if st.State != StateDone {
+			t.Errorf("job %d (%s) ended %s: %s — lost in shutdown", i, id, st.State, st.Error)
+		} else if st.Result == nil || st.Result.Netlist == "" {
+			t.Errorf("job %d drained without a result", i)
+		}
+	}
+	if got := srv.mExecuted.Value(); got != n {
+		t.Errorf("pipeline executed %v times for %d distinct jobs, want exactly %d", got, n, n)
+	}
+	if got := srv.mCompleted.With(StateDone).Value(); got != n {
+		t.Errorf("completed{done} = %v, want %d", got, n)
+	}
+
+	// The drained server accepts no further work.
+	if _, code := submitJob(t, ts, JobRequest{Netlist: chainBench(40)}); code != http.StatusServiceUnavailable {
+		t.Errorf("submission after shutdown: HTTP %d, want 503", code)
+	}
+}
+
+// TestShutdownDeadlineCancelsJobs: when the drain budget expires,
+// in-flight pipelines are cancelled and finish as canceled — never left
+// dangling in running.
+func TestShutdownDeadlineCancelsJobs(t *testing.T) {
+	srv, ts := newTestServer(t, testConfig())
+	srv.preRun = func(ctx context.Context, _ *job) { <-ctx.Done() }
+	st, _ := submitJob(t, ts, JobRequest{Netlist: tinyBench})
+	waitState(t, ts, st.ID, func(st JobStatus) bool { return st.State == StateRunning })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want context.DeadlineExceeded", err)
+	}
+	st = waitTerminal(t, ts, st.ID)
+	if st.State != StateCanceled {
+		t.Fatalf("job ended %s after forced drain, want canceled", st.State)
+	}
+}
+
+// TestShutdownIdempotent: a second Shutdown returns immediately.
+func TestShutdownIdempotent(t *testing.T) {
+	srv, _ := newTestServer(t, testConfig())
+	ctx := context.Background()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(ctx) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("second Shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second Shutdown hung")
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"virtualsync/internal/celllib"
 	"virtualsync/internal/core"
 	"virtualsync/internal/gen"
+	"virtualsync/internal/lp"
 	"virtualsync/internal/netlist"
 	"virtualsync/internal/retime"
 	"virtualsync/internal/sim"
@@ -63,6 +64,15 @@ type (
 	Mismatch = sim.Mismatch
 	// BenchmarkSpec describes a synthetic benchmark circuit.
 	BenchmarkSpec = gen.Spec
+	// SolverStats aggregates LP/MIP work counters — simplex pivots,
+	// warm-start reuse, branch-and-bound nodes — behind a Result
+	// (Result.Solver) or an optimization progress event.
+	SolverStats = lp.Stats
+	// ProgressEvent is one period-search step reported to the observer of
+	// OptimizeObserved.
+	ProgressEvent = core.ProgressEvent
+	// ProgressFunc observes period-search progress.
+	ProgressFunc = core.ProgressFunc
 )
 
 // DefaultOptions returns the paper's experimental settings: 95 % path
@@ -141,6 +151,13 @@ func OptimizeStep(c *Circuit, lib *Library, opts Options, stepFrac float64) (*Re
 // expiry aborts the period search with ctx.Err().
 func OptimizeCtx(ctx context.Context, c *Circuit, lib *Library, opts Options, stepFrac float64) (*Result, error) {
 	return core.OptimizeCtx(ctx, c, lib, opts, stepFrac)
+}
+
+// OptimizeObserved is OptimizeCtx with a progress observer: obs (when
+// non-nil) receives one event per probed period plus one for the final
+// buffer-replacement pass, each carrying cumulative solver statistics.
+func OptimizeObserved(ctx context.Context, c *Circuit, lib *Library, opts Options, stepFrac float64, obs ProgressFunc) (*Result, error) {
+	return core.OptimizeObserved(ctx, c, lib, opts, stepFrac, obs)
 }
 
 // OptimizeAtPeriod attempts to realize one specific clock period; it
