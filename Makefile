@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race cover fuzz-short bench bench-lp bench-sim serve-smoke
+.PHONY: check fmt vet build test race cover fuzz-short bench bench-lp bench-sim bench-eco serve-smoke
 
 # The full pre-commit gate: formatting, vet, build, the whole test
 # suite, the race detector over every package, coverage floors, a short
 # differential-fuzzing pass with regression replay, the daemon smoke
-# test, and the simulation engine benchmarks (throughput + allocs/op
-# evidence in BENCH_sim.json).
-check: fmt vet build test race cover fuzz-short serve-smoke bench-sim
+# test, and the simulation and incremental-ECO benchmarks (throughput,
+# allocs/op and cold-vs-incremental speedup evidence in BENCH_sim.json
+# and BENCH_eco.json).
+check: fmt vet build test race cover fuzz-short serve-smoke bench-sim bench-eco
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -61,6 +62,7 @@ fuzz-short:
 	$(GO) test ./internal/verify -run '^$$' -fuzz FuzzLegalize -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/verify -run '^$$' -fuzz FuzzDiscretize -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/verify -run '^$$' -fuzz FuzzBitSimAgainstEventSim -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/verify -run '^$$' -fuzz FuzzIncrementalECO -fuzztime $(FUZZTIME)
 	$(GO) run ./cmd/vfuzz replay internal/verify/testdata/regressions
 
 # Regenerate every paper table/figure (writes results/).
@@ -87,6 +89,16 @@ bench-sim:
 	@grep -o '"Output":"Benchmark[^"]*\|"Output":"[^"]*ns/op[^"]*' BENCH_sim.json | sed 's/\"Output\":\"//;s/\\t/\t/g;s/\\n//' || true
 	@git diff --quiet -- BENCH_sim.json 2>/dev/null || \
 		echo "note: BENCH_sim.json changed — review the numbers and commit the update"
+
+# Incremental-ECO benchmark: one cold period search on s5378, then
+# per-iteration single-gate edits through Session.Reoptimize. The
+# speedup-x metric in BENCH_eco.json is the cold search time over the
+# mean incremental re-optimization time.
+bench-eco:
+	$(GO) test -json -run '^$$' -bench '^BenchmarkECO$$' -benchmem . > BENCH_eco.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_eco.json | sed 's/\"Output\":\"//;s/\\t/\t/g;s/\\n//' || true
+	@git diff --quiet -- BENCH_eco.json 2>/dev/null || \
+		echo "note: BENCH_eco.json changed — review the numbers and commit the update"
 
 # End-to-end self-test of the optimization daemon: starts vserved on an
 # ephemeral port, submits a job over HTTP, streams progress, checks the

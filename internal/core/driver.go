@@ -196,16 +196,24 @@ type ProgressFunc func(ProgressEvent)
 // non-nil) receives one event per probed period and one for the final
 // buffer-replacement pass, carrying cumulative solver work counters.
 func OptimizeObserved(ctx context.Context, c *netlist.Circuit, lib *celllib.Library, opts Options, stepFrac float64, obs ProgressFunc) (*Result, error) {
+	res, _, err := optimizeSearch(ctx, c, lib, opts, stepFrac, obs)
+	return res, err
+}
+
+// optimizeSearch is the period search behind OptimizeObserved. It also
+// returns the extracted region so callers (the ECO session) can keep it
+// for later incremental re-optimization.
+func optimizeSearch(ctx context.Context, c *netlist.Circuit, lib *celllib.Library, opts Options, stepFrac float64, obs ProgressFunc) (*Result, *Region, error) {
 	if stepFrac <= 0 {
 		stepFrac = 0.005
 	}
 	if err := opts.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	start := time.Now()
 	r, err := Extract(c, lib, ExtractOptions{SelectFrac: opts.SelectFrac})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// The model guards every delay with ru/rl margins, so the comparable
 	// baseline is the margined minimum period: every term of the classic
@@ -249,7 +257,7 @@ func OptimizeObserved(ctx context.Context, c *netlist.Circuit, lib *celllib.Libr
 		}
 		res, err := tryAt("probe", T0*(1-frac))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if res == nil {
 			fails++
@@ -267,7 +275,7 @@ func OptimizeObserved(ctx context.Context, c *netlist.Circuit, lib *celllib.Libr
 		}
 		res, err := tryAt("refine", T0*(1-frac))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if res == nil {
 			fails++
@@ -277,7 +285,7 @@ func OptimizeObserved(ctx context.Context, c *netlist.Circuit, lib *celllib.Libr
 		best = res
 	}
 	if best == nil {
-		return nil, fmt.Errorf("core: no feasible VirtualSync solution near the baseline period %g", T0)
+		return nil, nil, fmt.Errorf("core: no feasible VirtualSync solution near the baseline period %g", T0)
 	}
 	if opts.BufferReplace {
 		if obs != nil {
@@ -286,7 +294,7 @@ func OptimizeObserved(ctx context.Context, c *netlist.Circuit, lib *celllib.Libr
 		// Re-run the winning period once with the area-recovery pass.
 		res, err := optimizeExtracted(ctx, r, c, lib, best.Period, opts, prev, true)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if res != nil {
 			best = res
@@ -295,5 +303,5 @@ func OptimizeObserved(ctx context.Context, c *netlist.Circuit, lib *celllib.Libr
 	best.BaselinePeriod = T0
 	best.Solver = r.SolverStats()
 	best.Runtime = time.Since(start)
-	return best, nil
+	return best, r, nil
 }

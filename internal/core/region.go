@@ -143,26 +143,47 @@ func Extract(c *netlist.Circuit, lib *celllib.Library, opts ExtractOptions) (*Re
 	if err != nil {
 		return nil, fmt.Errorf("core: %v", err)
 	}
-	r := &Region{
-		Work:       work,
-		Lib:        lib,
-		GateIdx:    make(map[netlist.NodeID]int),
-		removedSet: make(map[netlist.NodeID]bool),
-		Baseline:   base,
+	removed := selectRemovable(work, lib, base, opts.SelectFrac)
+	if len(removed) == 0 {
+		return nil, fmt.Errorf("core: no flip-flops selected at fraction %g", opts.SelectFrac)
 	}
+	return buildRegion(work, lib, base, removed)
+}
 
-	// 1. Select removable flip-flops: endpoints of near-critical paths.
-	thresh := opts.SelectFrac * base.MinPeriod
+// selectRemovable picks the removable flip-flops: endpoints of paths
+// within frac of the largest register-to-register delay (step 1 of the
+// paper's critical-part selection). The result follows FlipFlops order,
+// which is deterministic, so selections on timing-equivalent circuits
+// compare element-wise.
+func selectRemovable(work *netlist.Circuit, lib *celllib.Library, base *sta.Result, frac float64) []netlist.NodeID {
+	thresh := frac * base.MinPeriod
+	var removed []netlist.NodeID
 	for _, ff := range work.FlipFlops() {
 		into := base.MaxArrival[ff.Fanins[0]] + lib.FF.Tsu
 		from := base.WorstPathThrough(ff.ID) // tcq + downstream (incl. capture tsu)
 		if into >= thresh-1e-9 || from >= thresh-1e-9 {
-			r.Removed = append(r.Removed, ff.ID)
-			r.removedSet[ff.ID] = true
+			removed = append(removed, ff.ID)
 		}
 	}
-	if len(r.Removed) == 0 {
-		return nil, fmt.Errorf("core: no flip-flops selected at fraction %g", opts.SelectFrac)
+	return removed
+}
+
+// buildRegion closes the critical part over combinational connectivity
+// given the removal selection (steps 2-6), producing the gate set, the
+// boundary sources and sinks, the anchor-annotated edges and the
+// external-period requirement. work becomes the region's working
+// circuit; base must be its analysis.
+func buildRegion(work *netlist.Circuit, lib *celllib.Library, base *sta.Result, removed []netlist.NodeID) (*Region, error) {
+	r := &Region{
+		Work:       work,
+		Lib:        lib,
+		GateIdx:    make(map[netlist.NodeID]int),
+		Removed:    removed,
+		removedSet: make(map[netlist.NodeID]bool, len(removed)),
+		Baseline:   base,
+	}
+	for _, id := range removed {
+		r.removedSet[id] = true
 	}
 
 	// 2. Region gates: the anchor-affected cone — every combinational
@@ -326,27 +347,7 @@ func Extract(c *netlist.Circuit, lib *celllib.Library, opts ExtractOptions) (*Re
 
 	// 5. The untouched logic outside the region still has to meet the
 	// target period classically; record its requirement.
-	sinkSet := make(map[netlist.NodeID]bool)
-	for _, s := range r.Sinks {
-		sinkSet[s.Node] = true
-	}
-	work.Live(func(n *netlist.Node) {
-		if sinkSet[n.ID] || r.removedSet[n.ID] || len(n.Fanins) == 0 {
-			return
-		}
-		var req float64
-		switch n.Kind {
-		case netlist.KindDFF:
-			req = base.MaxArrival[n.Fanins[0]] + lib.FF.Tsu
-		case netlist.KindOutput:
-			req = base.MaxArrival[n.Fanins[0]]
-		default:
-			return
-		}
-		if req > r.ExternalPeriod {
-			r.ExternalPeriod = req
-		}
-	})
+	r.ExternalPeriod = externalPeriod(work, lib, base, r.Sinks, r.removedSet)
 
 	// 6. Safety: every removed flip-flop must be bypassable — all its
 	// readers are region gates, removed flip-flops, boundary sinks we
@@ -370,6 +371,35 @@ func Extract(c *netlist.Circuit, lib *celllib.Library, opts ExtractOptions) (*Re
 		}
 	}
 	return r, nil
+}
+
+// externalPeriod returns the minimum clock period required by the
+// endpoints outside the region: capture nodes that are neither recorded
+// sinks nor removed flip-flops keep their classic timing.
+func externalPeriod(work *netlist.Circuit, lib *celllib.Library, base *sta.Result, sinks []Sink, removedSet map[netlist.NodeID]bool) float64 {
+	sinkSet := make(map[netlist.NodeID]bool, len(sinks))
+	for _, s := range sinks {
+		sinkSet[s.Node] = true
+	}
+	ext := 0.0
+	work.Live(func(n *netlist.Node) {
+		if sinkSet[n.ID] || removedSet[n.ID] || len(n.Fanins) == 0 {
+			return
+		}
+		var req float64
+		switch n.Kind {
+		case netlist.KindDFF:
+			req = base.MaxArrival[n.Fanins[0]] + lib.FF.Tsu
+		case netlist.KindOutput:
+			req = base.MaxArrival[n.Fanins[0]]
+		default:
+			return
+		}
+		if req > ext {
+			ext = req
+		}
+	})
+	return ext
 }
 
 // Stats summarizes a region in the paper's Table 1 terms.

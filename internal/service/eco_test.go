@@ -1,0 +1,194 @@
+package service
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"virtualsync/internal/core"
+)
+
+// skipBase submits circuits as already-prepared so the session circuit
+// is byte-identical to the submission, which keeps the ECO tests'
+// node names stable.
+var skipBase = Params{SkipBaseline: true}
+
+func doneResult(t *testing.T, st JobStatus) *JobResult {
+	t.Helper()
+	if st.State != StateDone {
+		t.Fatalf("job %s finished %q (error %q), want done", st.ID, st.State, st.Error)
+	}
+	if st.Result == nil {
+		t.Fatalf("job %s done without result", st.ID)
+	}
+	return st.Result
+}
+
+func TestECOByBaseJob(t *testing.T) {
+	srv, ts := newTestServer(t, testConfig())
+	base, _ := submitJob(t, ts, JobRequest{Netlist: tinyBench, Params: skipBase})
+	doneResult(t, waitTerminal(t, ts, base.ID))
+	if n := srv.sessions.Len(); n != 1 {
+		t.Fatalf("sessions after plain job = %d, want 1", n)
+	}
+
+	// Edit against the finished job's session: no netlist needed.
+	eco, code := submitJob(t, ts, JobRequest{BaseJob: base.ID, Edits: "resize g1 2"})
+	if code != http.StatusAccepted {
+		t.Fatalf("eco submit: HTTP %d, want 202", code)
+	}
+	res := doneResult(t, waitTerminal(t, ts, eco.ID))
+	if res.ECO == nil || !res.ECO.Incremental || res.ECO.NearMiss || res.ECO.Edits != 1 {
+		t.Fatalf("eco info = %+v, want incremental with 1 edit", res.ECO)
+	}
+	if res.Netlist == "" || res.Period <= 0 {
+		t.Fatalf("eco result incomplete: period %g", res.Period)
+	}
+	if v := srv.mECOIncremental.Value(); v != 1 {
+		t.Errorf("eco_incremental_total = %g, want 1", v)
+	}
+	if n := srv.sessions.Len(); n != 1 {
+		t.Fatalf("sessions after eco job = %d, want 1 (advanced session re-stored)", n)
+	}
+
+	// The advanced session chains: the next edit names the ECO job.
+	chain, _ := submitJob(t, ts, JobRequest{BaseJob: eco.ID, Edits: "resize g1 0\nresize g2 1"})
+	res2 := doneResult(t, waitTerminal(t, ts, chain.ID))
+	if res2.ECO == nil || !res2.ECO.Incremental || res2.ECO.Edits != 2 {
+		t.Fatalf("chained eco info = %+v", res2.ECO)
+	}
+
+	// The base job's session was consumed by the first ECO.
+	gone, _ := submitJob(t, ts, JobRequest{BaseJob: base.ID, Edits: "resize g1 1"})
+	st := waitTerminal(t, ts, gone.ID)
+	if st.State != StateFailed || !strings.Contains(st.Error, "no live optimization session") {
+		t.Fatalf("stale base_job: state %q error %q", st.State, st.Error)
+	}
+}
+
+func TestECOByNetlistKey(t *testing.T) {
+	srv, ts := newTestServer(t, testConfig())
+	base, _ := submitJob(t, ts, JobRequest{Netlist: tinyBench, Params: skipBase})
+	doneResult(t, waitTerminal(t, ts, base.ID))
+
+	// Same netlist plus an edit list: the session resolves through the
+	// submission's content key, no job ID required.
+	eco, _ := submitJob(t, ts, JobRequest{Netlist: tinyBench, Edits: "resize g2 2", Params: skipBase})
+	res := doneResult(t, waitTerminal(t, ts, eco.ID))
+	if res.ECO == nil || !res.ECO.Incremental {
+		t.Fatalf("eco info = %+v, want incremental", res.ECO)
+	}
+	if v := srv.mECOCold.Value(); v != 0 {
+		t.Errorf("eco_cold_total = %g, want 0", v)
+	}
+}
+
+func TestECOColdWithoutSession(t *testing.T) {
+	srv, ts := newTestServer(t, testConfig())
+	// No prior job: the edits apply to the submitted netlist and the
+	// pipeline runs cold, but a session is still created for later edits.
+	eco, _ := submitJob(t, ts, JobRequest{Netlist: tinyBench, Edits: "resize g1 1", Params: skipBase})
+	res := doneResult(t, waitTerminal(t, ts, eco.ID))
+	if res.ECO == nil || res.ECO.Incremental {
+		t.Fatalf("eco info = %+v, want cold (non-incremental)", res.ECO)
+	}
+	if v := srv.mECOCold.Value(); v != 1 {
+		t.Errorf("eco_cold_total = %g, want 1", v)
+	}
+	follow, _ := submitJob(t, ts, JobRequest{BaseJob: eco.ID, Edits: "resize g1 0"})
+	res2 := doneResult(t, waitTerminal(t, ts, follow.ID))
+	if res2.ECO == nil || !res2.ECO.Incremental {
+		t.Fatalf("follow-up eco info = %+v, want incremental", res2.ECO)
+	}
+}
+
+func TestECONearMissReroute(t *testing.T) {
+	srv, ts := newTestServer(t, testConfig())
+	base, _ := submitJob(t, ts, JobRequest{Netlist: tinyBench, Params: skipBase})
+	doneResult(t, waitTerminal(t, ts, base.ID))
+
+	// Same node names, kinds and arities, different wiring: a plain
+	// submission that misses the cache but matches the stored session's
+	// shape is served as an implicit ECO of the structural diff.
+	rewired := strings.Replace(tinyBench, "g3 = AND(g2, f1)", "g3 = AND(g2, f2)", 1)
+	if rewired == tinyBench {
+		t.Fatal("fixture edit did not apply")
+	}
+	near, _ := submitJob(t, ts, JobRequest{Netlist: rewired, Params: skipBase})
+	res := doneResult(t, waitTerminal(t, ts, near.ID))
+	if res.ECO == nil || !res.ECO.Incremental || !res.ECO.NearMiss {
+		t.Fatalf("eco info = %+v, want near-miss incremental", res.ECO)
+	}
+	if res.ECO.Edits == 0 {
+		t.Fatalf("near-miss applied no edits: %+v", res.ECO)
+	}
+	if v := srv.mECONearMiss.Value(); v != 1 {
+		t.Errorf("eco_nearmiss_total = %g, want 1", v)
+	}
+
+	// The session advanced to the rewired circuit and is re-stored under
+	// the new submission's identity: an ECO addressed by the rewired
+	// netlist's content key now resolves incrementally.
+	eco, _ := submitJob(t, ts, JobRequest{Netlist: rewired, Edits: "resize g1 2", Params: skipBase})
+	res2 := doneResult(t, waitTerminal(t, ts, eco.ID))
+	if res2.ECO == nil || !res2.ECO.Incremental || res2.ECO.NearMiss {
+		t.Fatalf("follow-up eco info = %+v, want incremental by key", res2.ECO)
+	}
+}
+
+func TestECORejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	cases := []struct {
+		name string
+		req  JobRequest
+	}{
+		{"bad edit syntax", JobRequest{Netlist: tinyBench, Edits: "frobnicate g1"}},
+		{"base_job without edits", JobRequest{BaseJob: "j1"}},
+		{"no netlist and no base_job", JobRequest{Edits: "resize g1 0"}},
+	}
+	for _, tc := range cases {
+		if _, code := submitJob(t, ts, tc.req); code != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", tc.name, code)
+		}
+	}
+
+	// Edits naming a node the base circuit lacks fail at run time.
+	base, _ := submitJob(t, ts, JobRequest{Netlist: tinyBench, Params: skipBase})
+	doneResult(t, waitTerminal(t, ts, base.ID))
+	eco, _ := submitJob(t, ts, JobRequest{BaseJob: base.ID, Edits: "resize nosuch 0"})
+	st := waitTerminal(t, ts, eco.ID)
+	if st.State != StateFailed {
+		t.Fatalf("unknown node edit: state %q, want failed", st.State)
+	}
+}
+
+func TestSessionStoreLRU(t *testing.T) {
+	st := newSessionStore(2)
+	put := func(id, key, shape string) {
+		st.Put(sessionMeta{JobID: id, Key: key, Shape: shape}, &core.Session{})
+	}
+	put("j1", "k1", "s1")
+	put("j2", "k2", "s2")
+	put("j3", "k3", "s3") // evicts j1
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", st.Len())
+	}
+	if _, _, ok := st.TakeByJob("j1"); ok {
+		t.Fatal("j1 survived eviction")
+	}
+	if _, _, ok := st.TakeByKey("k1"); ok {
+		t.Fatal("k1 survived eviction")
+	}
+	sess, meta, ok := st.TakeByShape("s2")
+	if !ok || sess == nil || meta.JobID != "j2" {
+		t.Fatalf("TakeByShape(s2) = %+v ok=%v", meta, ok)
+	}
+	// Take removes: the same session cannot be taken twice.
+	if _, _, ok := st.TakeByJob("j2"); ok {
+		t.Fatal("j2 still stored after Take")
+	}
+	st.Put(meta, sess) // returned unchanged
+	if _, _, ok := st.TakeByKey("k2"); !ok {
+		t.Fatal("re-Put session not indexed by key")
+	}
+}

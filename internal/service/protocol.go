@@ -80,6 +80,39 @@ type JobRequest struct {
 	// format; empty selects the built-in 45nm-style library.
 	Library string `json:"library,omitempty"`
 	Params  Params `json:"params"`
+
+	// Edits is an optional ECO edit script (one edit per line, see the
+	// netlist edit grammar: resize/swap/rewire/insertff/removeff). When
+	// set, the job re-optimizes incrementally from a prior session's
+	// state instead of running the pipeline cold: the session is resolved
+	// through BaseJob when given, otherwise through the content key of
+	// Netlist. Without a resolvable session the edits are applied to
+	// Netlist and the job runs the normal cold pipeline.
+	Edits string `json:"edits,omitempty"`
+	// BaseJob names a finished job whose optimization session the edits
+	// apply to. Sessions are held in a bounded LRU, so very old jobs may
+	// no longer resolve.
+	BaseJob string `json:"base_job,omitempty"`
+}
+
+// ECOInfo describes how an incremental (ECO) job was served.
+type ECOInfo struct {
+	// Incremental is true when the job reused a prior session's state;
+	// false means the cold pipeline ran (no session was found).
+	Incremental bool `json:"incremental"`
+	// NearMiss marks a plain submission rerouted to the incremental path
+	// because it structurally matched a stored session.
+	NearMiss bool `json:"near_miss,omitempty"`
+	// Edits is the number of edits applied.
+	Edits int `json:"edits,omitempty"`
+	// Spliced, ConeNodes, Probes and RecoverySteps mirror core.ECOStats.
+	Spliced       bool `json:"spliced,omitempty"`
+	ConeNodes     int  `json:"cone_nodes,omitempty"`
+	Probes        int  `json:"probes,omitempty"`
+	RecoverySteps int  `json:"recovery_steps,omitempty"`
+	// Fallback marks an incremental attempt that degraded to the cold
+	// period search internally.
+	Fallback bool `json:"fallback,omitempty"`
 }
 
 // SolverStats mirrors lp.Stats in the wire format.
@@ -124,6 +157,10 @@ type JobResult struct {
 
 	Solver    SolverStats `json:"solver"`
 	RuntimeMS int64       `json:"runtime_ms"`
+
+	// ECO is set on jobs that carried an edit list or were rerouted to
+	// the incremental re-optimization path.
+	ECO *ECOInfo `json:"eco,omitempty"`
 }
 
 // JobStatus is the GET /v1/jobs/{id} payload (and the submission

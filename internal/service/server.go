@@ -30,6 +30,11 @@ type Config struct {
 	QueueCap int
 	// CacheEntries is the LRU result-cache capacity (default 256).
 	CacheEntries int
+	// SessionEntries bounds the live optimization sessions kept for
+	// incremental (ECO) re-optimization (default 32). Sessions hold the
+	// extracted region and last plan, so they are much heavier than
+	// cached results.
+	SessionEntries int
 	// JobTimeout is the default per-job deadline, overridable per job by
 	// Params.TimeoutMS (default 5m).
 	JobTimeout time.Duration
@@ -49,6 +54,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 256
+	}
+	if c.SessionEntries <= 0 {
+		c.SessionEntries = 32
 	}
 	if c.JobTimeout <= 0 {
 		c.JobTimeout = 5 * time.Minute
@@ -70,6 +78,8 @@ type job struct {
 	circuit *netlist.Circuit
 	lib     *celllib.Library
 	params  Params
+	edits   []netlist.Edit
+	baseJob string
 
 	mu       sync.Mutex
 	state    string
@@ -146,11 +156,12 @@ func (j *job) status() JobStatus {
 // and in-flight identical jobs, schedules the extract→LP→legalize→
 // discretize pipeline on a bounded worker pool, and streams progress.
 type Server struct {
-	cfg   Config
-	sched *Scheduler
-	cache *Cache
-	reg   *Registry
-	mux   *http.ServeMux
+	cfg      Config
+	sched    *Scheduler
+	cache    *Cache
+	reg      *Registry
+	sessions *sessionStore
+	mux      *http.ServeMux
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -170,6 +181,11 @@ type Server struct {
 	mColdStarts  *Counter
 	mLatency     *Histogram
 
+	mECOIncremental *Counter
+	mECONearMiss    *Counter
+	mECOCold        *Counter
+	mECOFallback    *Counter
+
 	// preRun, when non-nil, runs at the head of every executed pipeline
 	// (test hook for deterministic timeout/cancel/shutdown scenarios).
 	preRun func(ctx context.Context, j *job)
@@ -184,6 +200,7 @@ func New(ctx context.Context, cfg Config) *Server {
 		sched:    NewScheduler(ctx, cfg.Workers, cfg.QueueCap),
 		cache:    NewCache(cfg.CacheEntries),
 		reg:      NewRegistry(),
+		sessions: newSessionStore(cfg.SessionEntries),
 		jobs:     map[string]*job{},
 		inflight: map[string]*job{},
 	}
@@ -202,7 +219,12 @@ func New(ctx context.Context, cfg Config) *Server {
 	s.reg.Gauge("vsync_queue_depth", "Jobs waiting for a worker.", func() float64 { return float64(s.sched.QueueDepth()) })
 	s.reg.Gauge("vsync_workers_busy", "Workers currently optimizing.", func() float64 { return float64(s.sched.Busy()) })
 	s.reg.Gauge("vsync_workers", "Worker pool size.", func() float64 { return float64(s.sched.Workers()) })
+	s.mECOIncremental = s.reg.Counter("vsync_eco_incremental_total", "ECO jobs served from a live session via incremental re-optimization.")
+	s.mECONearMiss = s.reg.Counter("vsync_eco_nearmiss_total", "Plain submissions rerouted to the incremental path by structural match.")
+	s.mECOCold = s.reg.Counter("vsync_eco_cold_total", "ECO jobs that found no session and ran the cold pipeline.")
+	s.mECOFallback = s.reg.Counter("vsync_eco_fallback_total", "Incremental attempts that degraded to the cold period search internally.")
 	s.reg.Gauge("vsync_cache_entries", "Results held in the LRU cache.", func() float64 { return float64(s.cache.Len()) })
+	s.reg.Gauge("vsync_sessions", "Live optimization sessions held for ECO re-use.", func() float64 { return float64(s.sessions.Len()) })
 	s.reg.Gauge("vsync_jobs_inflight", "Tracked jobs not yet in a terminal state.", s.inflightCount)
 
 	s.mux = http.NewServeMux()
@@ -286,18 +308,33 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid request body: %v", err)
 		return
 	}
-	if strings.TrimSpace(req.Netlist) == "" {
-		httpError(w, http.StatusBadRequest, "empty netlist")
-		return
-	}
-	name := req.Name
-	if name == "" {
-		name = "job"
-	}
-	c, err := netlist.Parse(strings.NewReader(req.Netlist), name)
+	edits, err := netlist.ParseEdits(req.Edits)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "invalid netlist: %v", err)
+		httpError(w, http.StatusBadRequest, "invalid edits: %v", err)
 		return
+	}
+	if req.BaseJob != "" && len(edits) == 0 {
+		httpError(w, http.StatusBadRequest, "base_job requires a non-empty edit list")
+		return
+	}
+	// A netlist is mandatory except for ECO jobs addressed by base_job,
+	// which edit a session the server already holds.
+	var c *netlist.Circuit
+	if strings.TrimSpace(req.Netlist) == "" {
+		if req.BaseJob == "" {
+			httpError(w, http.StatusBadRequest, "empty netlist")
+			return
+		}
+	} else {
+		name := req.Name
+		if name == "" {
+			name = "job"
+		}
+		c, err = netlist.Parse(strings.NewReader(req.Netlist), name)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "invalid netlist: %v", err)
+			return
+		}
 	}
 	lib := s.cfg.Lib
 	if req.Library != "" {
@@ -308,10 +345,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	params := req.Params.Normalize()
-	key, err := CacheKey(c, lib, params)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
-		return
+	var key string
+	if c != nil {
+		key, err = CacheKey(c, lib, params)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+	}
+	if len(edits) > 0 {
+		// The edit list (and base reference) shapes the result, so it is
+		// part of the identity the cache and dedup operate on.
+		key = ecoKey(key, req.BaseJob, edits)
 	}
 	s.mSubmitted.Inc()
 
@@ -349,6 +394,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j := s.newJobLocked(key, c, lib, params)
+	j.edits = edits
+	j.baseJob = req.BaseJob
 	s.inflight[key] = j
 	s.mu.Unlock()
 	s.mCacheMisses.Inc()
@@ -546,11 +593,8 @@ func (s *Server) runJob(base context.Context, j *job) {
 	}
 }
 
-// execute runs the same pipeline as the one-shot vsync CLI — the
-// retiming&sizing baseline (unless skipped), the VirtualSync period
-// search, optional equivalence simulation — and serializes the result.
-// Each circuit's pipeline is deterministic, so the emitted netlist is
-// byte-identical to the CLI's for the same input.
+// execute runs one job to a result: the cold pipeline for plain
+// submissions, the incremental path for jobs carrying an edit list.
 func (s *Server) execute(ctx context.Context, j *job) (*JobResult, error) {
 	if s.preRun != nil {
 		s.preRun(ctx, j)
@@ -558,7 +602,22 @@ func (s *Server) execute(ctx context.Context, j *job) (*JobResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	work := j.circuit
+	if len(j.edits) > 0 {
+		return s.executeECO(ctx, j)
+	}
+	return s.executePlain(ctx, j, j.circuit, nil)
+}
+
+// executePlain runs the same pipeline as the one-shot vsync CLI — the
+// retiming&sizing baseline (unless skipped), the VirtualSync period
+// search, optional equivalence simulation — and serializes the result.
+// Each circuit's pipeline is deterministic, so the emitted netlist is
+// byte-identical to the CLI's for the same input. The search runs inside
+// an optimization session that is kept for later ECO jobs. Plain
+// skip-baseline submissions that structurally match a stored session
+// are rerouted to the incremental path instead (near miss).
+func (s *Server) executePlain(ctx context.Context, j *job, c *netlist.Circuit, eco *ECOInfo) (*JobResult, error) {
+	work := c
 	if !j.params.SkipBaseline {
 		j.setStage(StageBaseline)
 		if _, err := sizing.Size(work, j.lib); err != nil {
@@ -576,13 +635,14 @@ func (s *Server) execute(ctx context.Context, j *job) (*JobResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if eco == nil && j.params.SkipBaseline {
+		if out, handled, err := s.tryNearMiss(ctx, j, work); handled {
+			return out, err
+		}
+	}
 
 	j.setStage(StageSolving)
-	opts := core.DefaultOptions()
-	opts.SelectFrac = j.params.SelectFrac
-	opts.UseLatches = *j.params.UseLatches
-	opts.BufferReplace = *j.params.BufferReplace
-	res, err := core.OptimizeObserved(ctx, work, j.lib, opts, j.params.StepFrac, func(ev core.ProgressEvent) {
+	sess, err := core.NewSession(ctx, work, j.lib, s.coreOptions(j), j.params.StepFrac, func(ev core.ProgressEvent) {
 		stage := StageSolving
 		if ev.Stage == "replace" {
 			stage = StageLegalizing
@@ -599,7 +659,158 @@ func (s *Server) execute(ctx context.Context, j *job) (*JobResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	out, err := s.buildResult(ctx, j, work, sess.Result, eco)
+	if err != nil {
+		return nil, err
+	}
+	// An ECO job's key is the edit-list identity, not a netlist content
+	// key; its session is addressable by job ID (and shape) only.
+	key := j.key
+	if eco != nil {
+		key = ""
+	}
+	s.storeSession(j, key, sess)
+	return out, nil
+}
 
+// executeECO serves a job carrying an edit list: it resolves the base
+// session (by job ID, then by netlist content key), re-optimizes
+// incrementally, and degrades to the cold pipeline on the edited
+// netlist when no session is live.
+func (s *Server) executeECO(ctx context.Context, j *job) (*JobResult, error) {
+	var (
+		sess *core.Session
+		meta sessionMeta
+		ok   bool
+	)
+	if j.baseJob != "" {
+		sess, meta, ok = s.sessions.TakeByJob(j.baseJob)
+		if !ok {
+			return nil, fmt.Errorf("no live optimization session for base job %q", j.baseJob)
+		}
+	} else {
+		baseKey, err := CacheKey(j.circuit, j.lib, j.params)
+		if err != nil {
+			return nil, err
+		}
+		sess, meta, ok = s.sessions.TakeByKey(baseKey)
+	}
+	if !ok {
+		// Cold ECO: apply the edits and run the full pipeline; the
+		// session built along the way serves future edits incrementally.
+		s.mECOCold.Inc()
+		work := j.circuit.Clone()
+		if _, err := work.ApplyEdits(j.edits); err != nil {
+			return nil, err
+		}
+		return s.executePlain(ctx, j, work, &ECOInfo{Incremental: false, Edits: len(j.edits)})
+	}
+
+	j.setStage(StageSolving)
+	res, st, err := sess.Reoptimize(ctx, j.edits)
+	if err != nil {
+		// The session is unchanged on error; keep it for another try.
+		s.sessions.Put(meta, sess)
+		return nil, err
+	}
+	s.mECOIncremental.Inc()
+	if st.Fallback {
+		s.mECOFallback.Inc()
+	}
+	out, err := s.buildResult(ctx, j, sess.Circuit, res, &ECOInfo{
+		Incremental:   true,
+		Edits:         len(j.edits),
+		Spliced:       st.Spliced,
+		ConeNodes:     st.ConeNodes,
+		Probes:        st.Probes,
+		RecoverySteps: st.RecoverySteps,
+		Fallback:      st.Fallback,
+	})
+	if err != nil {
+		s.sessions.Put(meta, sess)
+		return nil, err
+	}
+	s.storeSession(j, "", sess)
+	return out, nil
+}
+
+// maxNearMissEdits bounds how far a submission may structurally drift
+// from a stored session and still take the incremental path; beyond it
+// a cold run is cheaper than dragging a large dirty cone around.
+const maxNearMissEdits = 64
+
+// tryNearMiss reroutes a cache-missed plain submission onto a stored
+// session that matches its structural shape, serving it as an implicit
+// ECO of the diff. handled=false means the cold path should proceed.
+func (s *Server) tryNearMiss(ctx context.Context, j *job, work *netlist.Circuit) (out *JobResult, handled bool, err error) {
+	shape, err := ShapeKey(work, j.lib, j.params)
+	if err != nil {
+		return nil, false, nil
+	}
+	sess, meta, ok := s.sessions.TakeByShape(shape)
+	if !ok {
+		return nil, false, nil
+	}
+	edits, ok := netlist.DiffEdits(sess.Circuit, work)
+	if !ok || len(edits) > maxNearMissEdits {
+		s.sessions.Put(meta, sess)
+		return nil, false, nil
+	}
+	j.setStage(StageSolving)
+	res, st, err := sess.Reoptimize(ctx, edits)
+	if err != nil {
+		s.sessions.Put(meta, sess)
+		if ctx.Err() != nil {
+			return nil, true, err
+		}
+		return nil, false, nil // let the cold path have a go
+	}
+	s.mECONearMiss.Inc()
+	s.mECOIncremental.Inc()
+	if st.Fallback {
+		s.mECOFallback.Inc()
+	}
+	out, err = s.buildResult(ctx, j, sess.Circuit, res, &ECOInfo{
+		Incremental:   true,
+		NearMiss:      true,
+		Edits:         len(edits),
+		Spliced:       st.Spliced,
+		ConeNodes:     st.ConeNodes,
+		Probes:        st.Probes,
+		RecoverySteps: st.RecoverySteps,
+		Fallback:      st.Fallback,
+	})
+	if err != nil {
+		return nil, true, err
+	}
+	s.storeSession(j, j.key, sess)
+	return out, true, nil
+}
+
+func (s *Server) coreOptions(j *job) core.Options {
+	opts := core.DefaultOptions()
+	opts.SelectFrac = j.params.SelectFrac
+	opts.UseLatches = *j.params.UseLatches
+	opts.BufferReplace = *j.params.BufferReplace
+	return opts
+}
+
+// storeSession indexes sess under the finished job: by job ID for
+// explicit base_job chains, by content key (when given) for
+// netlist-addressed ECOs, and by the current circuit's shape for
+// near-miss rerouting.
+func (s *Server) storeSession(j *job, key string, sess *core.Session) {
+	shape, err := ShapeKey(sess.Circuit, j.lib, j.params)
+	if err != nil {
+		shape = ""
+	}
+	s.sessions.Put(sessionMeta{JobID: j.id, Key: key, Shape: shape}, sess)
+}
+
+// buildResult converts an optimization result into the wire form,
+// running the optional equivalence simulation against base (the
+// pre-optimization netlist the result was computed from).
+func (s *Server) buildResult(ctx context.Context, j *job, base *netlist.Circuit, res *core.Result, eco *ECOInfo) (*JobResult, error) {
 	out := &JobResult{
 		BaselinePeriod:     res.BaselinePeriod,
 		Period:             res.Period,
@@ -612,6 +823,7 @@ func (s *Server) execute(ctx context.Context, j *job) (*JobResult, error) {
 		RemovedFFs:         res.RemovedFFs,
 		Solver:             solverStatsFrom(res.Solver),
 		RuntimeMS:          res.Runtime.Milliseconds(),
+		ECO:                eco,
 	}
 	if j.params.VerifyCycles > 0 {
 		j.setStage(StageVerifying)
@@ -621,7 +833,7 @@ func (s *Server) execute(ctx context.Context, j *job) (*JobResult, error) {
 				warmup = e.Lambda + 3
 			}
 		}
-		ms, err := sim.VerifyEquivalence(work, res.Circuit, j.lib,
+		ms, err := sim.VerifyEquivalence(base, res.Circuit, j.lib,
 			res.BaselinePeriod, res.Period, j.params.VerifyCycles, warmup, 1)
 		if err != nil {
 			return nil, fmt.Errorf("equivalence sim: %w", err)

@@ -1,0 +1,261 @@
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"virtualsync/internal/celllib"
+	"virtualsync/internal/netlist"
+)
+
+// IncrementalStats reports how much timing work an incremental analysis
+// actually performed, against the size of the circuit. A healthy ECO edit
+// re-propagates a few percent of the nodes.
+type IncrementalStats struct {
+	// Seeds is the number of dirty seed nodes supplied by the caller.
+	Seeds int
+	// ArrivalRecomputed counts nodes whose arrival times were recomputed
+	// in the forward pass (seed nodes plus nodes a change propagated to).
+	ArrivalRecomputed int
+	// ArrivalChanged counts recomputed nodes whose arrival actually moved.
+	ArrivalChanged int
+	// DownRecomputed counts nodes whose downstream delay was recomputed
+	// in the backward pass.
+	DownRecomputed int
+	// Nodes is the live node count of the circuit.
+	Nodes int
+}
+
+// AnalyzeIncremental re-runs static timing analysis after a small edit,
+// re-propagating arrival and downstream-delay values only through the
+// affected cone and reusing prev everywhere else. dirty names the nodes
+// whose delay, launch time or fanin wiring may have changed (typically
+// EditResult.Touched from Circuit.ApplyEdits); the propagation wavefront
+// grows from there and stops as soon as recomputed values stop changing.
+//
+// prev must be the analysis of the same circuit before the edit, with
+// node IDs preserved (ApplyEdits guarantees this: edits tombstone or
+// append nodes, never renumber). The returned Result is bit-identical to
+// a full Analyze of the edited circuit.
+func AnalyzeIncremental(c *netlist.Circuit, lib *celllib.Library, prev *Result, dirty []netlist.NodeID) (*Result, *IncrementalStats, error) {
+	if prev == nil || prev.downRaw == nil {
+		return nil, nil, fmt.Errorf("sta: incremental analysis needs a prior Analyze result")
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, nil, fmt.Errorf("sta: %v", err)
+	}
+	delays, err := Delays(c, lib)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sta: %v", err)
+	}
+	ff, latch := lib.FF, lib.Latch
+
+	n := len(c.Nodes)
+	st := &IncrementalStats{Seeds: len(dirty), Nodes: c.Len()}
+	r := &Result{
+		MaxArrival: growCopy(prev.MaxArrival, n),
+		MinArrival: growCopy(prev.MinArrival, n),
+		Down:       growCopy(prev.Down, n),
+		downRaw:    growCopy(prev.downRaw, n),
+		pred:       growCopyIDs(prev.pred, n),
+	}
+	// Appended nodes start with no history; they are recomputed below
+	// (every fresh node must appear in dirty, which ApplyEdits ensures).
+	for i := len(prev.downRaw); i < n; i++ {
+		r.downRaw[i] = math.Inf(-1)
+		r.pred[i] = netlist.InvalidID
+	}
+
+	dirtySet := make(map[netlist.NodeID]bool, len(dirty))
+	for _, id := range dirty {
+		if c.Node(id) != nil {
+			dirtySet[id] = true
+		}
+	}
+
+	launch := func(nd *netlist.Node) (float64, bool) {
+		switch nd.Kind {
+		case netlist.KindInput, netlist.KindConst0, netlist.KindConst1:
+			return 0, true
+		case netlist.KindDFF:
+			return ff.Tcq, true
+		case netlist.KindLatch:
+			return latch.Tcq, true
+		}
+		return 0, false
+	}
+
+	// Forward pass over the dirty cone: a node is recomputed when it is a
+	// seed, brand new, or one of its fanins' arrivals changed. Equal
+	// recomputed values stop the wavefront — downstream nodes see the
+	// same inputs and therefore keep the same outputs.
+	changed := make([]bool, n)
+	fresh := func(id netlist.NodeID) bool { return int(id) >= len(prev.MaxArrival) }
+	for _, nd := range order {
+		need := dirtySet[nd.ID] || fresh(nd.ID)
+		if !need {
+			for _, f := range nd.Fanins {
+				if changed[f] {
+					need = true
+					break
+				}
+			}
+		}
+		if !need {
+			continue
+		}
+		st.ArrivalRecomputed++
+		oldMax, oldMin := r.MaxArrival[nd.ID], r.MinArrival[nd.ID]
+		var maxA, minA float64
+		var pred netlist.NodeID = netlist.InvalidID
+		if t, ok := launch(nd); ok {
+			maxA, minA = t, t
+		} else {
+			maxA, minA = math.Inf(-1), math.Inf(1)
+			for _, f := range nd.Fanins {
+				if a := r.MaxArrival[f]; a > maxA {
+					maxA = a
+					pred = f
+				}
+				if a := r.MinArrival[f]; a < minA {
+					minA = a
+				}
+			}
+			if len(nd.Fanins) == 0 {
+				maxA, minA = 0, 0
+			}
+			maxA += delays[nd.ID]
+			minA += delays[nd.ID]
+		}
+		r.MaxArrival[nd.ID] = maxA
+		r.MinArrival[nd.ID] = minA
+		r.pred[nd.ID] = pred
+		if fresh(nd.ID) || maxA != oldMax || minA != oldMin {
+			changed[nd.ID] = true
+			st.ArrivalChanged++
+		}
+	}
+
+	// Backward pass: downstream delays depend on structure and delays,
+	// not on arrivals, so the recompute set is seeded by the dirty nodes
+	// (whose delay or wiring changed) and their current fanins (whose
+	// consumer view changed), then grows upstream while values move.
+	fanouts := c.Fanouts()
+	downDirty := make([]bool, n)
+	for id := range dirtySet {
+		downDirty[id] = true
+		if nd := c.Node(id); nd != nil {
+			for _, f := range nd.Fanins {
+				downDirty[f] = true
+			}
+		}
+	}
+	for i := len(prev.downRaw); i < n; i++ {
+		downDirty[i] = true
+	}
+	computeDown := func(id netlist.NodeID) float64 {
+		d := math.Inf(-1)
+		for _, v := range fanouts[id] {
+			vn := c.Node(v)
+			var contrib float64
+			switch {
+			case vn.Kind == netlist.KindDFF:
+				contrib = ff.Tsu
+			case vn.Kind == netlist.KindLatch:
+				contrib = latch.Tsu
+			case vn.Kind == netlist.KindOutput:
+				contrib = 0
+			default:
+				if math.IsInf(r.downRaw[v], -1) {
+					continue // no capture point downstream of v
+				}
+				contrib = r.downRaw[v] + delays[v]
+			}
+			if contrib > d {
+				d = contrib
+			}
+		}
+		return d
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		nd := order[i]
+		if !downDirty[nd.ID] {
+			continue
+		}
+		st.DownRecomputed++
+		nv := computeDown(nd.ID)
+		if nv != r.downRaw[nd.ID] {
+			r.downRaw[nd.ID] = nv
+			if math.IsInf(nv, -1) {
+				r.Down[nd.ID] = 0
+			} else {
+				r.Down[nd.ID] = nv
+			}
+			for _, f := range nd.Fanins {
+				downDirty[f] = true
+			}
+		}
+	}
+
+	// Endpoint scan: linear in the endpoint count and identical in
+	// iteration order to the full analysis, so WorstEndpoint tie-breaking
+	// and the violation list order match exactly.
+	r.MinPeriod = 0
+	r.WorstEndpoint = netlist.InvalidID
+	r.HoldViolations = nil
+	c.Live(func(nd *netlist.Node) {
+		if len(nd.Fanins) == 0 {
+			return
+		}
+		u := nd.Fanins[0]
+		var req float64
+		holdOK := true
+		switch nd.Kind {
+		case netlist.KindDFF:
+			req = r.MaxArrival[u] + ff.Tsu
+			holdOK = r.MinArrival[u] >= ff.Th-1e-9
+		case netlist.KindLatch:
+			req = r.MaxArrival[u] + latch.Tsu
+			holdOK = r.MinArrival[u] >= latch.Th-1e-9
+		case netlist.KindOutput:
+			req = r.MaxArrival[u]
+		default:
+			return
+		}
+		if req > r.MinPeriod {
+			r.MinPeriod = req
+			r.WorstEndpoint = nd.ID
+		}
+		if !holdOK {
+			r.HoldViolations = append(r.HoldViolations, nd.ID)
+		}
+	})
+
+	if r.WorstEndpoint != netlist.InvalidID {
+		var path []netlist.NodeID
+		end := c.Node(r.WorstEndpoint)
+		cur := end.Fanins[0]
+		for cur != netlist.InvalidID {
+			path = append(path, cur)
+			cur = r.pred[cur]
+		}
+		for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+			path[i], path[j] = path[j], path[i]
+		}
+		r.CriticalPath = append(path, r.WorstEndpoint)
+	}
+	return r, st, nil
+}
+
+func growCopy(src []float64, n int) []float64 {
+	out := make([]float64, n)
+	copy(out, src)
+	return out
+}
+
+func growCopyIDs(src []netlist.NodeID, n int) []netlist.NodeID {
+	out := make([]netlist.NodeID, n)
+	copy(out, src)
+	return out
+}

@@ -1,0 +1,261 @@
+package sta
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"virtualsync/internal/celllib"
+	"virtualsync/internal/gen"
+	"virtualsync/internal/netlist"
+)
+
+// assertResultsEqual requires the incremental result to be bit-identical
+// to a full analysis of the same circuit.
+func assertResultsEqual(t *testing.T, c *netlist.Circuit, full, inc *Result) {
+	t.Helper()
+	eqF := func(name string, a, b []float64) {
+		if len(a) != len(b) {
+			t.Fatalf("%s: length %d vs %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if c.Node(netlist.NodeID(i)) == nil {
+				continue // dead entries are meaningless
+			}
+			if a[i] != b[i] && !(math.IsInf(a[i], -1) && math.IsInf(b[i], -1)) {
+				t.Errorf("%s[%d] (%s): full %v vs incremental %v", name, i,
+					c.Node(netlist.NodeID(i)).Name, a[i], b[i])
+			}
+		}
+	}
+	eqF("MaxArrival", full.MaxArrival, inc.MaxArrival)
+	eqF("MinArrival", full.MinArrival, inc.MinArrival)
+	eqF("Down", full.Down, inc.Down)
+	eqF("downRaw", full.downRaw, inc.downRaw)
+	if full.MinPeriod != inc.MinPeriod {
+		t.Errorf("MinPeriod: full %v vs incremental %v", full.MinPeriod, inc.MinPeriod)
+	}
+	if full.WorstEndpoint != inc.WorstEndpoint {
+		t.Errorf("WorstEndpoint: full %v vs incremental %v", full.WorstEndpoint, inc.WorstEndpoint)
+	}
+	if !reflect.DeepEqual(full.CriticalPath, inc.CriticalPath) {
+		t.Errorf("CriticalPath: full %v vs incremental %v", full.CriticalPath, inc.CriticalPath)
+	}
+	if !reflect.DeepEqual(full.HoldViolations, inc.HoldViolations) {
+		t.Errorf("HoldViolations: full %v vs incremental %v", full.HoldViolations, inc.HoldViolations)
+	}
+}
+
+func testCircuit(t *testing.T, name string) *netlist.Circuit {
+	t.Helper()
+	spec, ok := gen.SpecByName(name)
+	if !ok {
+		t.Fatalf("unknown spec %s", name)
+	}
+	c, err := gen.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAnalyzeIncrementalResize(t *testing.T) {
+	c := testCircuit(t, "s5378")
+	lib := celllib.Default()
+	prev, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resize a handful of gates to their strongest drive.
+	var edits []netlist.Edit
+	n := 0
+	c.Live(func(nd *netlist.Node) {
+		if nd.Kind.IsCombinational() && n < 5 {
+			edits = append(edits, netlist.Edit{Op: netlist.EditResize, Node: nd.Name, Drive: 1})
+			n++
+		}
+	})
+	er, err := c.ApplyEdits(edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, st, err := AnalyzeIncremental(c, lib, prev, er.Touched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, c, full, inc)
+	if st.ArrivalRecomputed >= st.Nodes {
+		t.Errorf("resize edit recomputed every node (%d of %d): no incrementality", st.ArrivalRecomputed, st.Nodes)
+	}
+	t.Logf("stats: %+v", st)
+}
+
+func TestAnalyzeIncrementalRewire(t *testing.T) {
+	c := testCircuit(t, "systemcdes")
+	lib := celllib.Default()
+	prev, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewire one pin of some multi-input gate to a primary input.
+	var in *netlist.Node
+	c.Live(func(nd *netlist.Node) {
+		if in == nil && nd.Kind == netlist.KindInput {
+			in = nd
+		}
+	})
+	var target *netlist.Node
+	c.Live(func(nd *netlist.Node) {
+		if target == nil && len(nd.Fanins) >= 2 && nd.Kind.IsCombinational() {
+			target = nd
+		}
+	})
+	if in == nil || target == nil {
+		t.Skip("no suitable rewire site")
+	}
+	er, err := c.ApplyEdits([]netlist.Edit{{Op: netlist.EditRewire, Node: target.Name, Pin: 1, Driver: in.Name}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, _, err := AnalyzeIncremental(c, lib, prev, er.Touched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, c, full, inc)
+}
+
+func TestAnalyzeIncrementalInsertRemoveFF(t *testing.T) {
+	c := testCircuit(t, "systemcdes")
+	lib := celllib.Default()
+	prev, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target *netlist.Node
+	c.Live(func(nd *netlist.Node) {
+		if target == nil && nd.Kind.IsCombinational() && len(nd.Fanins) >= 2 {
+			target = nd
+		}
+	})
+	er, err := c.ApplyEdits([]netlist.Edit{{Op: netlist.EditInsertFF, Name: "eco_ff_0", Node: target.Name, Pin: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, _, err := AnalyzeIncremental(c, lib, prev, er.Touched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, c, full, inc)
+
+	// Now remove an original flip-flop from the current state.
+	prev = inc
+	var ffNode *netlist.Node
+	c.Live(func(nd *netlist.Node) {
+		if ffNode == nil && nd.Kind == netlist.KindDFF && nd.Name != "eco_ff_0" {
+			ffNode = nd
+		}
+	})
+	if ffNode == nil {
+		t.Skip("no removable flip-flop")
+	}
+	er, err = c.ApplyEdits([]netlist.Edit{{Op: netlist.EditRemoveFF, Node: ffNode.Name}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Skipf("removal made circuit invalid: %v", err)
+	}
+	if loops := c.CombLoops(); len(loops) > 0 {
+		t.Skip("removal exposed a combinational loop; not analyzable")
+	}
+	inc, _, err = AnalyzeIncremental(c, lib, prev, er.Touched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err = Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, c, full, inc)
+}
+
+// TestAnalyzeIncrementalRandomized drives random edit sequences over a
+// mid-sized circuit and pins the incremental analysis to the full one
+// after every step, chaining results (each step's incremental output is
+// the next step's prev).
+func TestAnalyzeIncrementalRandomized(t *testing.T) {
+	c := testCircuit(t, "s5378")
+	lib := celllib.Default()
+	prev, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	var gates []*netlist.Node
+	var inputs []*netlist.Node
+	c.Live(func(nd *netlist.Node) {
+		if nd.Kind.IsCombinational() {
+			gates = append(gates, nd)
+		}
+		if nd.Kind == netlist.KindInput {
+			inputs = append(inputs, nd)
+		}
+	})
+	for step := 0; step < 25; step++ {
+		g := gates[rng.Intn(len(gates))]
+		var e netlist.Edit
+		switch rng.Intn(3) {
+		case 0:
+			drv := 0
+			if d, _, _, ok := lib.FasterDrive(g); ok && rng.Intn(2) == 1 {
+				drv = d // single-option cells stay at drive 0
+			}
+			e = netlist.Edit{Op: netlist.EditResize, Node: g.Name, Drive: drv}
+		case 1:
+			e = netlist.Edit{Op: netlist.EditRewire, Node: g.Name, Pin: rng.Intn(len(g.Fanins)),
+				Driver: inputs[rng.Intn(len(inputs))].Name}
+		default:
+			e = netlist.Edit{Op: netlist.EditSwapCell, Node: g.Name, Cell: g.Cell}
+		}
+		er, err := c.ApplyEdits([]netlist.Edit{e})
+		if err != nil {
+			t.Fatalf("step %d (%s): %v", step, netlist.FormatEdit(e), err)
+		}
+		if len(c.CombLoops()) > 0 {
+			t.Fatalf("step %d: edit created a loop", step)
+		}
+		inc, _, err := AnalyzeIncremental(c, lib, prev, er.Touched)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		full, err := Analyze(c, lib)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		assertResultsEqual(t, c, full, inc)
+		prev = inc
+	}
+}
+
+func TestAnalyzeIncrementalNeedsPrev(t *testing.T) {
+	c := testCircuit(t, "systemcdes")
+	if _, _, err := AnalyzeIncremental(c, celllib.Default(), nil, nil); err == nil {
+		t.Fatal("nil prev should error")
+	}
+	if _, _, err := AnalyzeIncremental(c, celllib.Default(), &Result{}, nil); err == nil {
+		t.Fatal("foreign Result without raw data should error")
+	}
+}

@@ -73,6 +73,15 @@ type (
 	ProgressEvent = core.ProgressEvent
 	// ProgressFunc observes period-search progress.
 	ProgressFunc = core.ProgressFunc
+	// Edit is one ECO netlist edit (resize, swap, rewire, insertff,
+	// removeff); see ParseEdits for the text grammar.
+	Edit = netlist.Edit
+	// Session holds the state needed to re-optimize a circuit
+	// incrementally after ECO edits; see NewSession.
+	Session = core.Session
+	// ECOStats reports how one incremental re-optimization went: state
+	// transferred, probes taken, whether the cold search ran.
+	ECOStats = core.ECOStats
 )
 
 // DefaultOptions returns the paper's experimental settings: 95 % path
@@ -165,6 +174,33 @@ func OptimizeObserved(ctx context.Context, c *Circuit, lib *Library, opts Option
 func OptimizeAtPeriod(c *Circuit, lib *Library, T float64, opts Options) (*Result, error) {
 	return core.OptimizeAtPeriod(c, lib, T, opts)
 }
+
+// NewSession runs the full VirtualSync period search on c and keeps the
+// state needed for incremental ECO re-optimization: call Reoptimize on
+// the returned session to apply an edit list and re-solve from the
+// previous timing analysis, region extraction and solver basis instead
+// of rerunning the search cold. obs may be nil.
+func NewSession(ctx context.Context, c *Circuit, lib *Library, opts Options, stepFrac float64, obs ProgressFunc) (*Session, error) {
+	return core.NewSession(ctx, c, lib, opts, stepFrac, obs)
+}
+
+// ParseEdits parses an ECO edit script: one edit per line ("#" comments
+// allowed), with the grammar
+//
+//	resize <node> <drive>
+//	swap <node> <cell>
+//	rewire <node> <pin> <driver>
+//	insertff <name> <node> <pin>
+//	removeff <node>
+func ParseEdits(s string) ([]Edit, error) { return netlist.ParseEdits(s) }
+
+// FormatEdits renders an edit list in the grammar ParseEdits accepts.
+func FormatEdits(edits []Edit) string { return netlist.FormatEdits(edits) }
+
+// DiffEdits expresses cur as an edit list against base, when the
+// difference is expressible in the edit grammar (same node names with
+// changed drives, cells or wiring). ok is false otherwise.
+func DiffEdits(base, cur *Circuit) ([]Edit, bool) { return netlist.DiffEdits(base, cur) }
 
 // VerifyEquivalence simulates both circuits with the same per-cycle
 // random stimulus (each at its own clock period) and compares every
