@@ -34,7 +34,7 @@ race:
 # Per-package coverage with floors on the load-bearing packages; a drop
 # below any floor fails the build. Floors are a few points under the
 # current numbers to absorb noise, not to excuse regressions.
-COVER_FLOORS = internal/core:80 internal/lp:85 internal/verify:78 internal/gen:75 internal/sim:85 internal/service:85
+COVER_FLOORS = internal/core:80 internal/lp:88 internal/verify:78 internal/gen:75 internal/sim:85 internal/service:85
 
 cover:
 	@fail=0; \
@@ -54,7 +54,11 @@ cover:
 # Short continuous-fuzzing pass: each native target gets ~20s of input
 # generation (one target per go test invocation, as the fuzzer requires),
 # then every stored regression seed is replayed, including re-injecting
-# the mutation each sensitivity seed was recorded from.
+# the mutation each sensitivity seed was recorded from. The LP
+# differential target (sparse LU kernel vs the dense oracle) runs twice:
+# once plain for input-generation throughput, once race-instrumented so
+# the lazily built row-wise views and kernel scratch buffers are raced
+# while the fuzzer drives both kernels.
 FUZZTIME ?= 20s
 
 fuzz-short:
@@ -63,6 +67,8 @@ fuzz-short:
 	$(GO) test ./internal/verify -run '^$$' -fuzz FuzzDiscretize -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/verify -run '^$$' -fuzz FuzzBitSimAgainstEventSim -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/verify -run '^$$' -fuzz FuzzIncrementalECO -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/lp -run '^$$' -fuzz FuzzLUFactorVsDense -fuzztime $(FUZZTIME)
+	$(GO) test -race ./internal/lp -run '^$$' -fuzz FuzzLUFactorVsDense -fuzztime $(FUZZTIME)
 	$(GO) run ./cmd/vfuzz replay internal/verify/testdata/regressions
 
 # Regenerate every paper table/figure (writes results/).
@@ -70,8 +76,11 @@ bench:
 	$(GO) test -bench=. -benchmem
 
 # LP-core and suite-runner benchmarks only, with machine-readable
-# output in BENCH_lp.json (pivots/op and warm-start hit rates included
-# in the benchmark metrics).
+# output in BENCH_lp.json. The mid-size tiers report pivots/op and
+# warm-start hit rates; the large tier (BenchmarkLPSolveLarge, a
+# ~54k-variable timing LP) runs both basis kernels on the same instance
+# and reports pivots/op, refactors/op and the LU kernel's wall-clock
+# speedup over the dense oracle (lu-speedup-x).
 bench-lp:
 	$(GO) test -json -run '^$$' -bench 'LPSolve|SuiteParallel' -benchmem . > BENCH_lp.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_lp.json | sed 's/\"Output\":\"//;s/\\t/\t/g;s/\\n//' || true

@@ -332,6 +332,76 @@ func BenchmarkLPSolveBoxed(b *testing.B) {
 	b.ReportMetric(warmPct/float64(b.N), "warmstart-hit-%")
 }
 
+// BenchmarkLPSolveLarge measures both basis kernels on a ~54k-variable,
+// ~12000-row timing LP (6000 chain stages × 8 padding columns each) —
+// the scale the big-circuit tier produces, far past the KernelAuto
+// crossover. The basic chain of free arrival variables makes B⁻¹ fill
+// into a dense triangle, so the dense kernel pays O(m²) per pivot while
+// the LU factors stay near-bidiagonal — the structural gap the sparse
+// kernel exists for. Both sub-benchmarks solve the same instance and
+// must land on the same optimum; the dense run additionally reports
+// lu-speedup-x, its per-solve wall clock over the LU kernel's.
+// pivots/op and refactors/op document the update/refactorize policy at
+// scale.
+func BenchmarkLPSolveLarge(b *testing.B) {
+	const stages, padsPer = 6000, 8
+	m := lp.NewModel("bench-large")
+	prev := m.AddVar("s0", 0, 0, 0)
+	for i := 1; i < stages; i++ {
+		s := m.AddVar("s", -lp.Inf, lp.Inf, 0)
+		terms := []lp.Term{{Var: s, Coeff: 1}, {Var: prev, Coeff: -1}}
+		// Many small boxed pads with varied costs: the deadline deficit
+		// must be bought across several columns per stage, so the solver
+		// genuinely pivots its way through the pad blocks.
+		for k := 0; k < padsPer; k++ {
+			pad := m.AddVar("p", 0, 0.5, 1+0.13*float64((i*7+k*3)%11))
+			terms = append(terms, lp.Term{Var: pad, Coeff: 1})
+		}
+		d := 4 + float64((i*3)%5) // stage delays in [4, 8], mean 6
+		m.MustConstrain("c", terms, lp.GE, d)
+		// Deadline slope 6.5 sits below the worst stage delay, so deficit
+		// stages must buy padding to stay under their deadlines.
+		m.MustConstrain("u", []lp.Term{{Var: s, Coeff: 1}}, lp.LE, 6.5*float64(i)+5)
+		prev = s
+	}
+	var luObj, luSec float64
+	for _, k := range []struct {
+		name string
+		kern lp.Kernel
+	}{{"lu", lp.KernelLU}, {"dense", lp.KernelDense}} {
+		b.Run(k.name, func(b *testing.B) {
+			pivots, refactors := 0, 0
+			var obj float64
+			for i := 0; i < b.N; i++ {
+				sol, err := m.SolveOpts(context.Background(), lp.SolveOptions{Kernel: k.kern})
+				if err != nil || sol.Status != lp.Optimal {
+					b.Fatalf("%v %v", sol, err)
+				}
+				obj = sol.Objective
+				pivots += sol.Stats.Pivots()
+				refactors += sol.Stats.Refactors
+			}
+			if pivots == 0 {
+				b.Fatal("large LP solved with zero pivots: instance degenerated")
+			}
+			b.ReportMetric(float64(pivots)/float64(b.N), "pivots/op")
+			b.ReportMetric(float64(refactors)/float64(b.N), "refactors/op")
+			sec := b.Elapsed().Seconds() / float64(b.N)
+			switch k.name {
+			case "lu":
+				luObj, luSec = obj, sec
+			case "dense":
+				if luSec > 0 && sec > 0 {
+					b.ReportMetric(sec/luSec, "lu-speedup-x")
+				}
+				if diff := obj - luObj; diff > 1e-6*(1+obj) || diff < -1e-6*(1+obj) {
+					b.Fatalf("kernels disagree on the optimum: dense %.9f vs lu %.9f", obj, luObj)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSuiteParallel measures RunSuite wall clock over four
 // similar-weight paper circuits at 1, 2, and 4 workers. Results are
 // deterministic at every width; only the wall clock changes.

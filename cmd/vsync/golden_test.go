@@ -18,6 +18,37 @@ import (
 
 var update = flag.Bool("update", false, "rewrite golden files with current output")
 
+// TestGoldenHelp pins the -help usage text, so any flag addition,
+// removal or rewording (e.g. the -lp-kernel switch) shows up in review
+// as a golden diff rather than slipping by unnoticed.
+func TestGoldenHelp(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-help"}, &buf); err != nil {
+		t.Fatalf("vsync -help: %v", err)
+	}
+	path := filepath.Join("testdata", "golden", "help.txt")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(want, buf.Bytes()) {
+		t.Errorf("usage differs from %s (run with -update after intentional changes)\n--- got ---\n%s\n--- want ---\n%s",
+			path, buf.Bytes(), want)
+	}
+	if !bytes.Contains(want, []byte("-lp-kernel")) {
+		t.Error("golden help does not document the -lp-kernel switch")
+	}
+}
+
 func TestGoldenECOReport(t *testing.T) {
 	var buf bytes.Buffer
 	err := run([]string{

@@ -22,6 +22,10 @@ func (v Violation) String() string {
 
 const valTol = 1e-6
 
+// bufPad is the stagger unit (in float64s, 128 bytes) between sections
+// of propagate's backing array; see the comment at the allocation site.
+const bufPad = 16
+
 // waveState holds propagated late/early arrivals for validation.
 type waveState struct {
 	late, early   []float64 // per gate output
@@ -129,13 +133,29 @@ func (p *Plan) propagate(env valEnv) (*waveState, []Violation) {
 	opts.Ru, opts.Rl = env.ru, env.rl
 	T := env.T
 
+	// All six working arrays come from one backing slice with a growing
+	// stagger between sections. Six separate make() calls of equal size
+	// can land on consecutive same-size-class slots — for regions whose
+	// per-edge arrays fill the 4KiB class, that puts wLate/wEarly/oLate/
+	// oEarly at identical page offsets, and the store→load pattern in the
+	// edge loop below then pays 4K-aliasing stalls (measured ~3x on the
+	// whole fixpoint, flipping with unrelated allocation history). The
+	// distinct pads keep every pair of sections off a common 4KiB stride
+	// no matter what nG and nE are.
+	buf := make([]float64, 2*nG+4*nE+15*bufPad)
+	off := 0
+	take := func(n, pad int) []float64 {
+		s := buf[off : off+n : off+n]
+		off += n + pad
+		return s
+	}
 	st := &waveState{
-		late:   make([]float64, nG),
-		early:  make([]float64, nG),
-		wLate:  make([]float64, nE),
-		wEarly: make([]float64, nE),
-		oLate:  make([]float64, nE),
-		oEarly: make([]float64, nE),
+		late:   take(nG, bufPad),
+		early:  take(nG, 2*bufPad),
+		wLate:  take(nE, 3*bufPad),
+		wEarly: take(nE, 4*bufPad),
+		oLate:  take(nE, 5*bufPad),
+		oEarly: take(nE, 0),
 	}
 	for gi := 0; gi < nG; gi++ {
 		st.late[gi] = math.Inf(-1)

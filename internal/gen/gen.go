@@ -74,9 +74,27 @@ func PaperSuite() []Spec {
 	}
 }
 
-// SpecByName returns the suite spec with the given name.
+// BigSuite returns the big-circuit tier: synthetic circuits at 50k and
+// 100k gates, an order of magnitude past the paper suite. They exist to
+// exercise the sparse-LU LP kernel (their timing LPs cross the
+// KernelAuto threshold) and the large-instance benchmarks; the shapes
+// match the paper suite so the same flow runs unchanged.
+func BigSuite() []Spec {
+	return []Spec{
+		{Name: "big50k", Seed: 50001, TargetGates: 50000, TargetFFs: 2500, Stage1Depth: 18, Stage2Depth: 14, StageWidth: 6, FastBypass: true, Loop: true, WallDelay: 290, NumInputs: 24},
+		{Name: "big100k", Seed: 100003, TargetGates: 100000, TargetFFs: 5000, Stage1Depth: 20, Stage2Depth: 15, StageWidth: 8, FastBypass: true, Loop: true, WallDelay: 320, NumInputs: 32},
+	}
+}
+
+// SpecByName returns the paper-suite or big-suite spec with the given
+// name.
 func SpecByName(name string) (Spec, bool) {
 	for _, s := range PaperSuite() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	for _, s := range BigSuite() {
 		if s.Name == name {
 			return s, true
 		}
@@ -206,8 +224,13 @@ func Generate(spec Spec) (*netlist.Circuit, error) {
 	if fillerDepth < 2 {
 		fillerDepth = 2
 	}
+	// Every block adds at least 4 gates and 4 flip-flops, so this bound
+	// is generous for any target while still catching a dead loop. The
+	// fixed floor keeps the paper-suite behavior; the proportional term
+	// admits the 50k/100k-gate big tier.
+	maxFiller := 10000 + spec.TargetGates/4 + spec.TargetFFs/4
 	for bi := 0; b.gates < spec.TargetGates || b.ffs < spec.TargetFFs; bi++ {
-		if bi > 10000 {
+		if bi > maxFiller {
 			return nil, fmt.Errorf("gen: filler loop did not converge")
 		}
 		width := 2 + rng.Intn(3)

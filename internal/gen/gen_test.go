@@ -108,6 +108,45 @@ func TestSpecByName(t *testing.T) {
 	if !ok || s.Name != "pci_bridge" {
 		t.Fatal("pci_bridge lookup failed")
 	}
+	b, ok := SpecByName("big50k")
+	if !ok || b.TargetGates != 50000 {
+		t.Fatal("big50k lookup failed")
+	}
+}
+
+// TestBigSuiteGenerates checks the 50k/100k-gate tier actually reaches
+// its size targets, stays structurally valid, and passes STA — the level
+// the flow needs before handing their timing LPs to the sparse kernel.
+func TestBigSuiteGenerates(t *testing.T) {
+	lib := celllib.Default()
+	for _, spec := range BigSuite() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			if testing.Short() && spec.TargetGates > 50000 {
+				t.Skip("100k tier skipped under -short")
+			}
+			c, err := Generate(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := c.Stats()
+			if st.Gates < spec.TargetGates {
+				t.Errorf("gates = %d, want >= %d", st.Gates, spec.TargetGates)
+			}
+			if st.Gates > spec.TargetGates+spec.TargetGates/4 {
+				t.Errorf("gates = %d, way over target %d", st.Gates, spec.TargetGates)
+			}
+			if st.DFFs < spec.TargetFFs {
+				t.Errorf("FFs = %d, want >= %d", st.DFFs, spec.TargetFFs)
+			}
+			if loops := c.CombLoops(); len(loops) != 0 {
+				t.Errorf("combinational loops: %v", loops)
+			}
+			if _, err := sta.Analyze(c, lib); err != nil {
+				t.Errorf("STA fails: %v", err)
+			}
+		})
+	}
 }
 
 func TestGenerateRejectsBadDepth(t *testing.T) {

@@ -12,11 +12,13 @@ import (
 // rows A x + s = b with every column carrying its own [lb, ub] interval.
 // Nonbasic columns rest at a finite bound (or at zero when free); the m
 // basic columns take whatever values close the equations. The basis
-// inverse is kept as a dense m×m matrix updated by rank-one pivots, while
-// all pricing and FTRAN work runs over the sparse original columns, so a
-// pivot costs O(m²) for the inverse update plus O(nnz) for pricing —
-// never an O(m·n) dense tableau sweep, and no artificial or mirrored
-// columns are ever created.
+// inverse lives behind the basisKernel interface (kernel.go): the dense
+// kernel keeps an explicit B⁻¹ updated by rank-one pivots, the sparse LU
+// kernel (lu.go) keeps a Markowitz-ordered factorization with
+// product-form eta updates and periodic refactorization. All pricing and
+// FTRAN work runs over the sparse original columns — never an O(m·n)
+// dense tableau sweep, and no artificial or mirrored columns are ever
+// created.
 //
 // Phase 1 minimizes the total bound violation of the basic variables
 // (the composite method): each basic row contributes sigma_i ∈ {+1, 0, −1}
@@ -24,15 +26,18 @@ import (
 // y = sigmaᵀ B⁻¹, and the ratio test lets a basic variable *block at the
 // bound it currently violates*, so infeasibilities are worked off
 // monotonically. Phase 2 is the ordinary bounded-variable primal simplex
-// with Dantzig pricing and a Bland fallback for anti-cycling; an entering
-// variable whose own opposite bound gives the tightest ratio simply flips
-// bounds without a basis change.
+// with Dantzig pricing on the dense kernel (preserving historical pivot
+// sequences exactly) and devex pricing on the LU kernel (see pricing.go),
+// plus a Bland fallback for anti-cycling; an entering variable whose own
+// opposite bound gives the tightest ratio simply flips bounds without a
+// basis change.
 
 const (
 	eps     = 1e-9  // reduced-cost and pivot-eligibility tolerance
 	feasTol = 1e-7  // bound-violation tolerance for basic variables
 	intTol  = 1e-6  // integrality tolerance in branch-and-bound
 	dropTol = 1e-12 // sub-epsilon residues zeroed after row updates
+	resTol  = 1e-6  // relative ‖B·xB − b̃‖∞ drift that forces a refactorization
 )
 
 // Column statuses. A nonbasic column's value is implied by its status.
@@ -54,6 +59,8 @@ type Stats struct {
 	Nodes        int // branch-and-bound nodes solved
 	WarmStarts   int // solves seeded from a prior basis
 	ColdStarts   int // solves from the all-slack basis
+	Refactors    int // sparse-kernel basis refactorizations
+	Repairs      int // singular basis slots repaired with slack columns
 }
 
 // Pivots returns the total simplex pivots across both phases (excluding
@@ -81,14 +88,19 @@ func (s *Stats) Add(o Stats) {
 	s.Nodes += o.Nodes
 	s.WarmStarts += o.WarmStarts
 	s.ColdStarts += o.ColdStarts
+	s.Refactors += o.Refactors
+	s.Repairs += o.Repairs
 }
 
 // Basis is a compact snapshot of an optimal simplex basis: one status
 // byte per column (structurals followed by slacks). It is the unit of
 // warm-starting — a later solve of a problem with the same row/column
 // structure can seed from it and typically reaches optimality in a few
-// pivots. A Basis never affects correctness: dimension mismatches are
-// detected and ignored, and a poor seed only costs extra pivots.
+// pivots. Because it records statuses rather than any kernel state, a
+// Basis taken from a dense-kernel solve seeds an LU-kernel solve (and
+// vice versa) with no translation. A Basis never affects correctness:
+// dimension mismatches are detected and ignored, and a poor seed only
+// costs extra pivots.
 type Basis struct {
 	m, n int
 	stat []byte
@@ -103,18 +115,32 @@ func (b *Basis) Compatible(m, n int) bool {
 // errCanceled marks a solve interrupted by context cancellation.
 var errCanceled = fmt.Errorf("lp: canceled")
 
+// statusRestart is an internal phase outcome: a mid-phase-2 basis repair
+// (a near-singular basis column swapped for a slack) broke primal
+// feasibility, so the solve must re-run phase 1. Never escapes solveLP.
+const statusRestart Status = -1
+
 // solver carries the working state of one relaxation solve.
 type solver struct {
 	p      *problem
 	lb, ub []float64 // per-solve bounds (node overrides applied)
 
-	binv  [][]float64 // dense B⁻¹, m×m
-	basis []int32     // column occupying each basic row
+	kern  basisKernel // basis-inverse representation (dense or sparse LU)
+	kind  Kernel      // resolved kernel kind (never KernelAuto)
+	basis []int32     // column occupying each basic slot
 	stat  []byte      // status per column
 	xB    []float64   // values of basic columns, length m
 
-	y     []float64 // pricing scratch, length m
+	y   []float64 // pricing scratch, length m
+	cB  []float64 // basic-cost scratch for btran, length m
+	rhs []float64 // nonbasic-adjusted right-hand side b̃, length m
+
 	alpha []float64 // FTRAN scratch, length m
+
+	dvx      *devex    // devex pricing state; nil = Dantzig (dense kernel)
+	rho      []float64 // devex: tableau pivot row scratch, length m
+	arj      []float64 // devex: pivot-row entry accumulator, length n, kept zeroed
+	arjTouch []int32   // devex: columns touched in arj this update
 
 	iters   int // iterations consumed across both phases
 	maxIter int
@@ -123,28 +149,38 @@ type solver struct {
 	ctx context.Context // nil disables cancellation checks
 }
 
-func newSolver(ctx context.Context, p *problem, lb, ub []float64) *solver {
+func newSolver(ctx context.Context, p *problem, lb, ub []float64, kind Kernel) *solver {
+	kind = kind.resolve(p.m)
 	s := &solver{
 		p: p, lb: lb, ub: ub,
-		binv:  make([][]float64, p.m),
+		kind:  kind,
 		basis: make([]int32, p.m),
 		stat:  make([]byte, p.n),
 		xB:    make([]float64, p.m),
 		y:     make([]float64, p.m),
+		cB:    make([]float64, p.m),
+		rhs:   make([]float64, p.m),
 		alpha: make([]float64, p.m),
 		// Generous but finite; the timing LPs need far fewer.
 		maxIter: 20000 + 60*(p.m+p.n),
 		ctx:     ctx,
 	}
-	flat := make([]float64, p.m*p.m)
-	for i := range s.binv {
-		s.binv[i] = flat[i*p.m : (i+1)*p.m]
-		s.binv[i][i] = 1
+	for i := range s.basis {
 		s.basis[i] = int32(p.nv + i)
 		s.stat[p.nv+i] = inBasis
 	}
 	for j := 0; j < p.nv; j++ {
 		s.stat[j] = s.defaultStat(j)
+	}
+	if kind == KernelLU {
+		lu := newLUKernel(p)
+		s.kern = lu
+		lu.refactor(s.basis) // all-slack basis: trivial identity factorization
+		s.dvx = newDevex(p.n)
+		s.rho = make([]float64, p.m)
+		s.arj = make([]float64, p.n)
+	} else {
+		s.kern = newDenseKernel(p)
 	}
 	return s
 }
@@ -197,9 +233,10 @@ func (s *solver) nbVal(j int) float64 {
 
 // recomputeXB rebuilds xB = B⁻¹ (b − A_N x_N) from scratch. Used at
 // solve start and periodically to wash out incremental-update drift.
+// The adjusted right-hand side is left in s.rhs for residual checks.
 func (s *solver) recomputeXB() {
 	p := s.p
-	r := make([]float64, p.m)
+	r := s.rhs
 	copy(r, p.b)
 	for j := 0; j < p.n; j++ {
 		if s.stat[j] == inBasis {
@@ -214,70 +251,84 @@ func (s *solver) recomputeXB() {
 			r[row] -= val[k] * v
 		}
 	}
-	for i := 0; i < p.m; i++ {
-		row := s.binv[i]
-		sum := 0.0
-		for k, rk := range r {
-			if rk != 0 {
-				sum += row[k] * rk
-			}
+	s.kern.ftranVec(r, s.xB)
+}
+
+// residual returns ‖B·xB − b̃‖∞, the drift of the incrementally updated
+// basic solution against the equations, using the b̃ cached by the last
+// recomputeXB. It reads only the sparse basis columns, so the check is
+// O(nnz(B)) — cheap enough to run at every periodic refresh.
+func (s *solver) residual() float64 {
+	p := s.p
+	copy(s.y, s.rhs) // y is free between pricing rounds; reuse as scratch
+	for q := 0; q < p.m; q++ {
+		x := s.xB[q]
+		if x == 0 {
+			continue
 		}
-		s.xB[i] = sum
+		idx, val := p.colIdx[s.basis[q]], p.colVal[s.basis[q]]
+		for k, row := range idx {
+			s.y[row] -= val[k] * x
+		}
 	}
+	worst := 0.0
+	for _, v := range s.y {
+		if v < 0 {
+			v = -v
+		}
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// residualHigh reports whether the basic-solution drift exceeds the
+// relative tolerance that forces a refactorization.
+func (s *solver) residualHigh() bool {
+	norm := 0.0
+	for _, v := range s.rhs {
+		if v < 0 {
+			v = -v
+		}
+		if v > norm {
+			norm = v
+		}
+	}
+	return s.residual() > resTol*(1+norm)
+}
+
+// refactorNow rebuilds the kernel's factorization from the current basis
+// and installs slack columns into any slots the kernel reported as
+// (near-)singular. Returns true when at least one slot was repaired —
+// the basic solution changed structurally and feasibility may be lost.
+// No-op (returns false) on kernels without refactorization.
+func (s *solver) refactorNow() bool {
+	repairs, ok := s.kern.refactor(s.basis)
+	if !ok {
+		return false
+	}
+	s.st.Refactors++
+	repaired := false
+	for _, rp := range repairs {
+		slot, row := int(rp[0]), int(rp[1])
+		old := int(s.basis[slot])
+		sl := s.p.nv + row
+		if old == sl {
+			continue
+		}
+		s.basis[slot] = int32(sl)
+		s.stat[sl] = inBasis
+		// The evicted column goes nonbasic at a legal resting bound.
+		s.stat[old] = s.normalizeStat(atLower, old)
+		s.st.Repairs++
+		repaired = true
+	}
+	return repaired
 }
 
 // ftran computes alpha = B⁻¹ A_e for the entering column.
-func (s *solver) ftran(e int) {
-	idx, val := s.p.colIdx[e], s.p.colVal[e]
-	for i := 0; i < s.p.m; i++ {
-		row := s.binv[i]
-		sum := 0.0
-		for k, r := range idx {
-			sum += row[r] * val[k]
-		}
-		s.alpha[i] = sum
-	}
-}
-
-// pivotUpdate applies the rank-one basis change: column e enters at row
-// r (alpha already holds B⁻¹A_e). Sub-epsilon multipliers are skipped
-// and sub-epsilon residues zeroed after each row update, so numerical
-// dust neither spreads through B⁻¹ nor creeps into later ratio tests.
-func (s *solver) pivotUpdate(r, e int) {
-	br := s.binv[r]
-	inv := 1 / s.alpha[r]
-	for k, v := range br {
-		if v != 0 {
-			v *= inv
-			if v < dropTol && v > -dropTol {
-				v = 0
-			}
-			br[k] = v
-		}
-	}
-	for i := range s.binv {
-		if i == r {
-			continue
-		}
-		a := s.alpha[i]
-		if a < dropTol && a > -dropTol {
-			continue
-		}
-		bi := s.binv[i]
-		for k, w := range br {
-			if w == 0 {
-				continue
-			}
-			v := bi[k] - a*w
-			if v < dropTol && v > -dropTol {
-				v = 0
-			}
-			bi[k] = v
-		}
-	}
-	s.basis[r] = int32(e)
-	s.stat[e] = inBasis
-}
+func (s *solver) ftran(e int) { s.kern.ftranCol(e, s.alpha) }
 
 // infeasibility returns the total bound violation of the basic variables
 // and records each row's violation direction in sigma.
@@ -301,38 +352,19 @@ func (s *solver) infeasibility(sigma []int8) float64 {
 
 // price computes the pricing vector y for the current phase:
 // phase 1: y = sigmaᵀ B⁻¹ (gradient of the infeasibility sum);
-// phase 2: y = c_Bᵀ B⁻¹.
+// phase 2: y = c_Bᵀ B⁻¹. Both are one BTRAN against the kernel.
 func (s *solver) price(phase1 bool, sigma []int8) {
 	m := s.p.m
-	for k := 0; k < m; k++ {
-		s.y[k] = 0
-	}
 	if phase1 {
 		for i := 0; i < m; i++ {
-			sg := sigma[i]
-			if sg == 0 {
-				continue
-			}
-			f := float64(sg)
-			for k, v := range s.binv[i] {
-				if v != 0 {
-					s.y[k] += f * v
-				}
-			}
+			s.cB[i] = float64(sigma[i])
 		}
-		return
-	}
-	for i := 0; i < m; i++ {
-		c := s.p.cost[s.basis[i]]
-		if c == 0 {
-			continue
-		}
-		for k, v := range s.binv[i] {
-			if v != 0 {
-				s.y[k] += c * v
-			}
+	} else {
+		for i := 0; i < m; i++ {
+			s.cB[i] = s.p.cost[s.basis[i]]
 		}
 	}
+	s.kern.btran(s.cB, s.y)
 }
 
 // reducedCost of column j against the current pricing vector. Phase 1
@@ -374,11 +406,13 @@ func (s *solver) eligible(j int, d float64) (int, bool) {
 }
 
 // chooseEntering scans the nonbasic columns: Dantzig rule (largest
-// reduced-cost magnitude) normally, Bland's rule (first eligible index)
-// once bland is set, which guarantees termination on degenerate cycles.
+// reduced-cost magnitude) or devex (largest d²/w, LU kernel) normally,
+// Bland's rule (first eligible index) once bland is set, which
+// guarantees termination on degenerate cycles.
 func (s *solver) chooseEntering(phase1, bland bool) (e, dir int) {
 	e = -1
 	best := 0.0
+	dvx := s.dvx
 	for j := 0; j < s.p.n; j++ {
 		if s.stat[j] == inBasis {
 			continue
@@ -394,8 +428,14 @@ func (s *solver) chooseEntering(phase1, bland bool) (e, dir int) {
 		if bland {
 			return j, t
 		}
-		if mag := math.Abs(d); mag > best {
-			best, e, dir = mag, j, t
+		var score float64
+		if dvx != nil {
+			score = d * d / dvx.w[j]
+		} else {
+			score = math.Abs(d)
+		}
+		if score > best {
+			best, e, dir = score, j, t
 		}
 	}
 	return e, dir
@@ -509,7 +549,8 @@ func (s *solver) applyStep(e, dir int, theta float64) float64 {
 
 // iterate runs one simplex phase to completion. Returns Optimal when the
 // phase goal is met (phase 1: feasible; phase 2: no eligible entering
-// column), Infeasible (phase 1 only), Unbounded (phase 2 only), or
+// column), Infeasible (phase 1 only), Unbounded (phase 2 only),
+// statusRestart (phase 2 only: a basis repair broke feasibility), or
 // IterLimit. Context cancellation is reported via errCanceled.
 func (s *solver) iterate(phase1 bool) (Status, error) {
 	sigma := make([]int8, s.p.m)
@@ -559,8 +600,15 @@ func (s *solver) iterate(phase1 bool) (Status, error) {
 			s.st.BoundFlips++
 		case 'p':
 			v := s.applyStep(e, dir, res.theta)
-			leaving := s.basis[res.row]
-			s.pivotUpdate(res.row, e)
+			leaving := int(s.basis[res.row])
+			if s.dvx != nil && !bland {
+				// Weight update reads the outgoing basis; must run
+				// before the kernel absorbs the pivot.
+				s.devexUpdate(res.row, e, leaving)
+			}
+			want := s.kern.update(res.row, e, s.alpha)
+			s.basis[res.row] = int32(e)
+			s.stat[e] = inBasis
 			s.stat[leaving] = res.leaveStat
 			s.xB[res.row] = v
 			if phase1 {
@@ -569,9 +617,27 @@ func (s *solver) iterate(phase1 bool) (Status, error) {
 				s.st.Phase2Pivots++
 			}
 			sincePivot++
-			if sincePivot >= 64 {
+			if want {
+				repaired := s.refactorNow()
 				s.recomputeXB()
 				sincePivot = 0
+				if repaired && !phase1 {
+					if w := s.infeasibility(sigma); w > feasTol {
+						return statusRestart, nil
+					}
+				}
+			} else if sincePivot >= 64 {
+				s.recomputeXB()
+				sincePivot = 0
+				if s.kind == KernelLU && s.residualHigh() {
+					repaired := s.refactorNow()
+					s.recomputeXB()
+					if repaired && !phase1 {
+						if w := s.infeasibility(sigma); w > feasTol {
+							return statusRestart, nil
+						}
+					}
+				}
 			}
 		}
 	}
@@ -584,7 +650,8 @@ func (s *solver) iterate(phase1 bool) (Status, error) {
 // stability. Columns that cannot be seated (near-singular alpha) stay
 // nonbasic and phase 1 repairs whatever is left — a degraded seed costs
 // pivots, never correctness. Returns false when the seed does not match
-// the problem shape.
+// the problem shape. This is the dense kernel's seeding path; the LU
+// kernel seeds by direct factorization (applySeedFactor).
 func (s *solver) applySeed(seed *Basis) bool {
 	p := s.p
 	if !seed.Compatible(p.m, p.n) {
@@ -619,12 +686,47 @@ func (s *solver) applySeed(seed *Basis) bool {
 			s.stat[j] = s.normalizeStat(atLower, j)
 			continue
 		}
-		leaving := s.basis[best]
-		s.pivotUpdate(best, j)
-		s.stat[leaving] = s.normalizeStat(seed.stat[leaving], int(leaving))
+		leaving := int(s.basis[best])
+		s.kern.update(best, j, s.alpha)
+		s.basis[best] = int32(j)
+		s.stat[j] = inBasis
+		s.stat[leaving] = s.normalizeStat(seed.stat[leaving], leaving)
 		avail[best] = false
 		s.st.CrashPivots++
 	}
+	return true
+}
+
+// applySeedFactor seeds the LU kernel from a prior basis by installing
+// the seed's basic set directly and factorizing it — no crash pivots at
+// all. Slots whose columns prove singular are repaired with slacks, and
+// phase 1 fixes any feasibility the repairs cost. Returns false when the
+// seed does not match the problem shape or is not a full basis.
+func (s *solver) applySeedFactor(seed *Basis) bool {
+	p := s.p
+	if !seed.Compatible(p.m, p.n) {
+		return false
+	}
+	cnt := 0
+	for j := 0; j < p.n; j++ {
+		if seed.stat[j] == inBasis {
+			cnt++
+		}
+	}
+	if cnt != p.m {
+		return false
+	}
+	slot := 0
+	for j := 0; j < p.n; j++ {
+		if seed.stat[j] == inBasis {
+			s.basis[slot] = int32(j)
+			s.stat[j] = inBasis
+			slot++
+		} else {
+			s.stat[j] = s.normalizeStat(seed.stat[j], j)
+		}
+	}
+	s.refactorNow()
 	return true
 }
 
@@ -644,41 +746,60 @@ type lpResult struct {
 
 // solveLP solves one LP relaxation over the given working bounds,
 // optionally seeded from a prior basis. A nil ctx disables cancellation.
-func solveLP(ctx context.Context, p *problem, lb, ub []float64, seed *Basis) (*lpResult, error) {
+func solveLP(ctx context.Context, p *problem, lb, ub []float64, seed *Basis, kind Kernel) (*lpResult, error) {
 	if p.infeasible {
 		// Singleton-row presolve found crossed bounds at compile time.
 		return &lpResult{status: Infeasible}, nil
 	}
-	s := newSolver(ctx, p, lb, ub)
-	if seed != nil && s.applySeed(seed) {
+	s := newSolver(ctx, p, lb, ub, kind)
+	warm := false
+	if seed != nil {
+		if s.kind == KernelLU {
+			warm = s.applySeedFactor(seed)
+		} else {
+			warm = s.applySeed(seed)
+		}
+	}
+	if warm {
 		s.st.WarmStarts++
 	} else {
 		s.st.ColdStarts++
 	}
 	s.recomputeXB()
 
-	st, err := s.iterate(true)
-	if err != nil {
-		return &lpResult{status: IterLimit, stats: s.st}, err
-	}
-	switch st {
-	case Infeasible:
-		return &lpResult{status: Infeasible, stats: s.st}, nil
-	case IterLimit:
-		return &lpResult{status: IterLimit, stats: s.st},
-			fmt.Errorf("lp: phase-1 iteration limit (%d)", s.maxIter)
-	}
+	// A mid-phase-2 basis repair can cost feasibility; allow a bounded
+	// number of phase-1 re-entries before giving up.
+	for round := 0; ; round++ {
+		st, err := s.iterate(true)
+		if err != nil {
+			return &lpResult{status: IterLimit, stats: s.st}, err
+		}
+		switch st {
+		case Infeasible:
+			return &lpResult{status: Infeasible, stats: s.st}, nil
+		case IterLimit:
+			return &lpResult{status: IterLimit, stats: s.st},
+				fmt.Errorf("lp: phase-1 iteration limit (%d)", s.maxIter)
+		}
 
-	st, err = s.iterate(false)
-	if err != nil {
-		return &lpResult{status: IterLimit, stats: s.st}, err
-	}
-	switch st {
-	case Unbounded:
-		return &lpResult{status: Unbounded, stats: s.st}, nil
-	case IterLimit:
-		return &lpResult{status: IterLimit, stats: s.st},
-			fmt.Errorf("lp: phase-2 iteration limit (%d)", s.maxIter)
+		st, err = s.iterate(false)
+		if err != nil {
+			return &lpResult{status: IterLimit, stats: s.st}, err
+		}
+		switch st {
+		case statusRestart:
+			if round < 4 {
+				continue
+			}
+			return &lpResult{status: IterLimit, stats: s.st},
+				fmt.Errorf("lp: basis repairs kept breaking feasibility")
+		case Unbounded:
+			return &lpResult{status: Unbounded, stats: s.st}, nil
+		case IterLimit:
+			return &lpResult{status: IterLimit, stats: s.st},
+				fmt.Errorf("lp: phase-2 iteration limit (%d)", s.maxIter)
+		}
+		break
 	}
 
 	// Settle drift accumulated since the last periodic refresh before
@@ -738,6 +859,6 @@ func (m *Model) SolveRelaxation() (*Solution, error) {
 		return nil, err
 	}
 	lb, ub := p.defaultBounds()
-	res, lerr := solveLP(nil, p, lb, ub, nil)
+	res, lerr := solveLP(nil, p, lb, ub, nil, KernelAuto)
 	return res.toSolution(), lerr
 }

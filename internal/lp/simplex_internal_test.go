@@ -129,86 +129,205 @@ func TestMaximizeNegatesCompiledCost(t *testing.T) {
 	}
 }
 
-func TestPivotUpdateZeroesResidues(t *testing.T) {
-	// One row, entering column with coefficient 2: after the pivot the
-	// basis inverse must hold exactly 0.5 and any sub-dropTol dust in
-	// other entries must be flushed to zero.
-	m := NewModel("b")
-	x := m.AddVar("x", 0, Inf, 1)
-	y := m.AddVar("y", 0, Inf, 1)
-	m.MustConstrain("c1", []Term{{x, 2}, {y, 1}}, LE, 4)
-	m.MustConstrain("c2", []Term{{x, 1}, {y, 3}}, LE, 6)
-	p, err := m.compile()
-	if err != nil {
-		t.Fatal(err)
+// bothKernels runs a subtest per concrete kernel, so every internal
+// invariant below is enforced on the dense and the sparse LU kernel
+// alike (the point of the kernel abstraction: one suite, two backends).
+func bothKernels(t *testing.T, f func(t *testing.T, kern Kernel)) {
+	t.Helper()
+	for _, kern := range []Kernel{KernelDense, KernelLU} {
+		t.Run(kern.String(), func(t *testing.T) { f(t, kern) })
 	}
-	lb, ub := p.defaultBounds()
-	s := newSolver(nil, p, lb, ub)
-	s.recomputeXB()
-	// Seed dust into B⁻¹ that a pivot touching that row must clear.
-	s.binv[1][0] = dropTol / 2
-	s.ftran(int(x))
-	s.pivotUpdate(0, int(x))
-	if s.binv[0][0] != 0.5 {
-		t.Fatalf("binv[0][0] = %g, want 0.5", s.binv[0][0])
-	}
-	for i := range s.binv {
-		for k, v := range s.binv[i] {
-			if v != 0 && math.Abs(v) < dropTol {
-				t.Fatalf("sub-epsilon residue binv[%d][%d] = %g survived", i, k, v)
+}
+
+func TestKernelPivotUnitColumnInvariant(t *testing.T) {
+	// After a basis change absorbs column e at a slot, B⁻¹A_e must be
+	// exactly the unit vector of that slot (up to tolerance) — the
+	// kernel-agnostic statement of "the pivot really updated the
+	// inverse". The dense kernel additionally guarantees that sub-dropTol
+	// dust never survives an update; for the LU kernel the same pivot is
+	// an exact eta application. Both must satisfy the invariant.
+	bothKernels(t, func(t *testing.T, kern Kernel) {
+		m := NewModel("b")
+		x := m.AddVar("x", 0, Inf, 1)
+		y := m.AddVar("y", 0, Inf, 1)
+		m.MustConstrain("c1", []Term{{x, 2}, {y, 1}}, LE, 4)
+		m.MustConstrain("c2", []Term{{x, 1}, {y, 3}}, LE, 6)
+		p, err := m.compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, ub := p.defaultBounds()
+		s := newSolver(nil, p, lb, ub, kern)
+		s.recomputeXB()
+		s.ftran(int(x))
+		leaving := int(s.basis[0])
+		s.kern.update(0, int(x), s.alpha)
+		s.basis[0] = int32(x)
+		s.stat[x] = inBasis
+		s.stat[leaving] = atLower
+		s.ftran(int(x))
+		for i := 0; i < p.m; i++ {
+			want := 0.0
+			if i == 0 {
+				want = 1
+			}
+			if math.Abs(s.alpha[i]-want) > 1e-9 {
+				t.Fatalf("B⁻¹A_e[%d] = %g, want %g", i, s.alpha[i], want)
 			}
 		}
-	}
+		// The other basic column (slack of row 1) must still solve to a
+		// unit vector too: the update may not corrupt unrelated slots.
+		s.ftran(int(s.basis[1]))
+		for i := 0; i < p.m; i++ {
+			want := 0.0
+			if i == 1 {
+				want = 1
+			}
+			if math.Abs(s.alpha[i]-want) > 1e-9 {
+				t.Fatalf("B⁻¹A_b1[%d] = %g, want %g", i, s.alpha[i], want)
+			}
+		}
+	})
+}
+
+func TestKernelBtranMatchesFtran(t *testing.T) {
+	// yᵀA_j computed via btran must equal cBᵀ(B⁻¹A_j) computed via
+	// ftran — the two solves are transposes of each other, on any kernel.
+	bothKernels(t, func(t *testing.T, kern Kernel) {
+		m := NewModel("b")
+		x := m.AddVar("x", 0, 9, 3)
+		y := m.AddVar("y", 0, 9, -2)
+		z := m.AddVar("z", -4, 4, 1)
+		m.MustConstrain("c1", []Term{{x, 2}, {y, 1}, {z, -1}}, LE, 4)
+		m.MustConstrain("c2", []Term{{x, 1}, {y, 3}}, GE, 1)
+		m.MustConstrain("c3", []Term{{y, 1}, {z, 5}}, EQ, 2)
+		p, err := m.compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, ub := p.defaultBounds()
+		s := newSolver(nil, p, lb, ub, kern)
+		s.recomputeXB()
+		// Pivot a couple of structurals in to make B non-trivial.
+		for _, e := range []int{int(x), int(y)} {
+			s.ftran(e)
+			slot := -1
+			for i := 0; i < p.m; i++ {
+				if math.Abs(s.alpha[i]) > 0.5 && int(s.basis[i]) >= p.nv {
+					slot = i
+					break
+				}
+			}
+			if slot < 0 {
+				t.Fatalf("no pivot slot for col %d", e)
+			}
+			leaving := int(s.basis[slot])
+			s.kern.update(slot, e, s.alpha)
+			s.basis[slot] = int32(e)
+			s.stat[e] = inBasis
+			s.stat[leaving] = atLower
+		}
+		cB := make([]float64, p.m)
+		for i := 0; i < p.m; i++ {
+			cB[i] = float64(i + 1)
+		}
+		yv := make([]float64, p.m)
+		s.kern.btran(cB, yv)
+		for j := 0; j < p.n; j++ {
+			dot := 0.0
+			for k, r := range p.colIdx[j] {
+				dot += yv[r] * p.colVal[j][k]
+			}
+			s.ftran(j)
+			viaF := 0.0
+			for i := 0; i < p.m; i++ {
+				viaF += cB[i] * s.alpha[i]
+			}
+			if math.Abs(dot-viaF) > 1e-9 {
+				t.Fatalf("col %d: btran %g vs ftran %g", j, dot, viaF)
+			}
+		}
+	})
 }
 
 func TestBasisRoundTripSolvesInZeroPhase1Pivots(t *testing.T) {
 	// Re-solving the identical problem from its own optimal basis should
-	// need no phase-1 pivots at all.
-	m := NewModel("b")
-	x := m.AddVar("x", 0, 10, -1)
-	y := m.AddVar("y", 0, 10, -2)
-	m.MustConstrain("c1", []Term{{x, 1}, {y, 1}}, LE, 12)
-	m.MustConstrain("c2", []Term{{x, 1}, {y, 3}}, LE, 30)
-	p, err := m.compile()
-	if err != nil {
-		t.Fatal(err)
-	}
-	lb, ub := p.defaultBounds()
-	cold, err := solveLP(nil, p, lb, ub, nil)
-	if err != nil || cold.status != Optimal {
-		t.Fatalf("cold solve: %v %v", cold, err)
-	}
-	warm, err := solveLP(nil, p, lb, ub, cold.basis)
-	if err != nil || warm.status != Optimal {
-		t.Fatalf("warm solve: %v %v", warm, err)
-	}
-	if warm.stats.WarmStarts != 1 {
-		t.Fatalf("warm start not taken: %+v", warm.stats)
-	}
-	if warm.stats.Phase1Pivots != 0 {
-		t.Fatalf("phase-1 pivots on a round-trip basis: %+v", warm.stats)
-	}
-	if math.Abs(warm.obj-cold.obj) > 1e-9 {
-		t.Fatalf("objectives differ: %g vs %g", warm.obj, cold.obj)
-	}
+	// need no phase-1 pivots at all — on either kernel.
+	bothKernels(t, func(t *testing.T, kern Kernel) {
+		m := NewModel("b")
+		x := m.AddVar("x", 0, 10, -1)
+		y := m.AddVar("y", 0, 10, -2)
+		m.MustConstrain("c1", []Term{{x, 1}, {y, 1}}, LE, 12)
+		m.MustConstrain("c2", []Term{{x, 1}, {y, 3}}, LE, 30)
+		p, err := m.compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, ub := p.defaultBounds()
+		cold, err := solveLP(nil, p, lb, ub, nil, kern)
+		if err != nil || cold.status != Optimal {
+			t.Fatalf("cold solve: %v %v", cold, err)
+		}
+		warm, err := solveLP(nil, p, lb, ub, cold.basis, kern)
+		if err != nil || warm.status != Optimal {
+			t.Fatalf("warm solve: %v %v", warm, err)
+		}
+		if warm.stats.WarmStarts != 1 {
+			t.Fatalf("warm start not taken: %+v", warm.stats)
+		}
+		if warm.stats.Phase1Pivots != 0 {
+			t.Fatalf("phase-1 pivots on a round-trip basis: %+v", warm.stats)
+		}
+		if math.Abs(warm.obj-cold.obj) > 1e-9 {
+			t.Fatalf("objectives differ: %g vs %g", warm.obj, cold.obj)
+		}
+	})
 }
 
 func TestIncompatibleSeedIgnored(t *testing.T) {
-	m := NewModel("b")
-	x := m.AddVar("x", 0, 1, 1)
-	m.MustConstrain("c", []Term{{x, 1}}, LE, 1)
-	p, err := m.compile()
-	if err != nil {
-		t.Fatal(err)
+	bothKernels(t, func(t *testing.T, kern Kernel) {
+		m := NewModel("b")
+		x := m.AddVar("x", 0, 1, 1)
+		m.MustConstrain("c", []Term{{x, 1}}, LE, 1)
+		p, err := m.compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, ub := p.defaultBounds()
+		bad := &Basis{m: 99, n: 99, stat: make([]byte, 99)}
+		res, err := solveLP(nil, p, lb, ub, bad, kern)
+		if err != nil || res.status != Optimal {
+			t.Fatalf("solve with bad seed: %v %v", res, err)
+		}
+		if res.stats.WarmStarts != 0 || res.stats.ColdStarts != 1 {
+			t.Fatalf("bad seed was not ignored: %+v", res.stats)
+		}
+	})
+}
+
+func TestParseKernel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Kernel
+		err  bool
+	}{
+		{"", KernelAuto, false},
+		{"auto", KernelAuto, false},
+		{"dense", KernelDense, false},
+		{"lu", KernelLU, false},
+		{"sparse", KernelAuto, true},
 	}
-	lb, ub := p.defaultBounds()
-	bad := &Basis{m: 99, n: 99, stat: make([]byte, 99)}
-	res, err := solveLP(nil, p, lb, ub, bad)
-	if err != nil || res.status != Optimal {
-		t.Fatalf("solve with bad seed: %v %v", res, err)
+	for _, c := range cases {
+		got, err := ParseKernel(c.in)
+		if (err != nil) != c.err || got != c.want {
+			t.Fatalf("ParseKernel(%q) = %v, %v", c.in, got, err)
+		}
 	}
-	if res.stats.WarmStarts != 0 || res.stats.ColdStarts != 1 {
-		t.Fatalf("bad seed was not ignored: %+v", res.stats)
+	if KernelAuto.resolve(luAutoRows) != KernelLU ||
+		KernelAuto.resolve(luAutoRows-1) != KernelDense ||
+		KernelDense.resolve(1<<20) != KernelDense ||
+		KernelLU.resolve(1) != KernelLU {
+		t.Fatal("Kernel.resolve crossover wrong")
 	}
 }
 

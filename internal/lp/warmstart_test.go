@@ -139,6 +139,98 @@ func TestBnBWarmStartHitRate(t *testing.T) {
 	}
 }
 
+// TestCrossKernelWarmStart asserts the statuses-only Basis contract: an
+// optimal basis carried out of one kernel warm-starts the other with no
+// phase-1 pivots in either direction. The LU side additionally seeds by
+// direct factorization, so it must not even spend crash pivots.
+func TestCrossKernelWarmStart(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m, _ := timingLP(rng, 60)
+		dense, err := m.SolveOpts(context.Background(), SolveOptions{Kernel: KernelDense})
+		if err != nil || dense.Status != Optimal {
+			t.Fatalf("seed %d: dense cold: %+v %v", seed, dense, err)
+		}
+		luCold, err := m.SolveOpts(context.Background(), SolveOptions{Kernel: KernelLU})
+		if err != nil || luCold.Status != Optimal {
+			t.Fatalf("seed %d: lu cold: %+v %v", seed, luCold, err)
+		}
+
+		// dense basis → LU kernel
+		luWarm, err := m.SolveOpts(context.Background(),
+			SolveOptions{Kernel: KernelLU, Warm: dense.Basis})
+		if err != nil || luWarm.Status != Optimal {
+			t.Fatalf("seed %d: lu warm from dense: %+v %v", seed, luWarm, err)
+		}
+		if luWarm.Stats.WarmStarts != 1 {
+			t.Fatalf("seed %d: dense basis rejected by lu kernel: %+v", seed, luWarm.Stats)
+		}
+		if luWarm.Stats.Phase1Pivots != 0 {
+			t.Fatalf("seed %d: lu warm start spent %d phase-1 pivots",
+				seed, luWarm.Stats.Phase1Pivots)
+		}
+		if luWarm.Stats.CrashPivots != 0 {
+			t.Fatalf("seed %d: lu kernel seeds by factorization, yet spent %d crash pivots",
+				seed, luWarm.Stats.CrashPivots)
+		}
+		if math.Abs(luWarm.Objective-dense.Objective) > 1e-6 {
+			t.Fatalf("seed %d: lu warm %.9f vs dense %.9f",
+				seed, luWarm.Objective, dense.Objective)
+		}
+
+		// LU basis → dense kernel
+		denseWarm, err := m.SolveOpts(context.Background(),
+			SolveOptions{Kernel: KernelDense, Warm: luCold.Basis})
+		if err != nil || denseWarm.Status != Optimal {
+			t.Fatalf("seed %d: dense warm from lu: %+v %v", seed, denseWarm, err)
+		}
+		if denseWarm.Stats.WarmStarts != 1 {
+			t.Fatalf("seed %d: lu basis rejected by dense kernel: %+v", seed, denseWarm.Stats)
+		}
+		if denseWarm.Stats.Phase1Pivots != 0 {
+			t.Fatalf("seed %d: dense warm start spent %d phase-1 pivots",
+				seed, denseWarm.Stats.Phase1Pivots)
+		}
+		if math.Abs(denseWarm.Objective-luCold.Objective) > 1e-6 {
+			t.Fatalf("seed %d: dense warm %.9f vs lu %.9f",
+				seed, denseWarm.Objective, luCold.Objective)
+		}
+	}
+}
+
+// TestCrossKernelWarmStartAfterBoundTightening mirrors the production
+// pattern (period re-probe, branch-and-bound child): the basis crosses
+// kernels while a few bounds move, and must still start primal-feasible
+// or repair cheaply — never diverge.
+func TestCrossKernelWarmStartAfterBoundTightening(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m, pads := timingLP(rng, 50)
+	dense, err := m.SolveOpts(context.Background(), SolveOptions{Kernel: KernelDense})
+	if err != nil || dense.Status != Optimal {
+		t.Fatalf("dense cold: %+v %v", dense, err)
+	}
+	for k := 0; k < 3; k++ {
+		v := pads[rng.Intn(len(pads))]
+		lb, ub := m.Bounds(v)
+		m.SetBounds(v, lb, ub/2)
+	}
+	cold, err := m.SolveOpts(context.Background(), SolveOptions{Kernel: KernelLU})
+	if err != nil || cold.Status != Optimal {
+		t.Fatalf("lu cold after tighten: %+v %v", cold, err)
+	}
+	warm, err := m.SolveOpts(context.Background(),
+		SolveOptions{Kernel: KernelLU, Warm: dense.Basis})
+	if err != nil || warm.Status != Optimal {
+		t.Fatalf("lu warm after tighten: %+v %v", warm, err)
+	}
+	if warm.Stats.WarmStarts != 1 {
+		t.Fatalf("warm seed unused: %+v", warm.Stats)
+	}
+	if math.Abs(warm.Objective-cold.Objective) > 1e-6 {
+		t.Fatalf("warm %.9f vs cold %.9f", warm.Objective, cold.Objective)
+	}
+}
+
 // TestSolveCtxCancellation verifies that a cancelled context interrupts
 // the solve instead of waiting out the internal 5 s deadline.
 func TestSolveCtxCancellation(t *testing.T) {
