@@ -34,7 +34,7 @@ race:
 # Per-package coverage with floors on the load-bearing packages; a drop
 # below any floor fails the build. Floors are a few points under the
 # current numbers to absorb noise, not to excuse regressions.
-COVER_FLOORS = internal/core:80 internal/lp:88 internal/verify:78 internal/gen:75 internal/sim:85 internal/service:85
+COVER_FLOORS = internal/core:80 internal/lp:88 internal/verify:78 internal/gen:75 internal/sim:87 internal/service:85
 
 cover:
 	@fail=0; \
@@ -54,11 +54,14 @@ cover:
 # Short continuous-fuzzing pass: each native target gets ~20s of input
 # generation (one target per go test invocation, as the fuzzer requires),
 # then every stored regression seed is replayed, including re-injecting
-# the mutation each sensitivity seed was recorded from. The LP
-# differential target (sparse LU kernel vs the dense oracle) runs twice:
-# once plain for input-generation throughput, once race-instrumented so
-# the lazily built row-wise views and kernel scratch buffers are raced
-# while the fuzzer drives both kernels.
+# the mutation each sensitivity seed was recorded from. Two differential
+# targets run twice, once plain for input-generation throughput and once
+# race-instrumented: the LP target (sparse LU kernel vs the dense
+# oracle) races the lazily built row-wise views and kernel scratch
+# buffers, and the wave target (word-parallel WaveSim vs the scalar
+# event engine on optimizer-produced circuits, every lane, no
+# calibration escape) races the event arena and per-lane projection
+# state.
 FUZZTIME ?= 20s
 
 fuzz-short:
@@ -66,6 +69,8 @@ fuzz-short:
 	$(GO) test ./internal/verify -run '^$$' -fuzz FuzzLegalize -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/verify -run '^$$' -fuzz FuzzDiscretize -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/verify -run '^$$' -fuzz FuzzBitSimAgainstEventSim -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/verify -run '^$$' -fuzz FuzzWaveBitSimAgainstEventSim -fuzztime $(FUZZTIME)
+	$(GO) test -race ./internal/verify -run '^$$' -fuzz FuzzWaveBitSimAgainstEventSim -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/verify -run '^$$' -fuzz FuzzIncrementalECO -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/lp -run '^$$' -fuzz FuzzLUFactorVsDense -fuzztime $(FUZZTIME)
 	$(GO) test -race ./internal/lp -run '^$$' -fuzz FuzzLUFactorVsDense -fuzztime $(FUZZTIME)
@@ -88,13 +93,16 @@ bench-lp:
 		echo "note: BENCH_lp.json changed — review the numbers and commit the update"
 
 # Simulation-engine benchmarks only, with machine-readable output in
-# BENCH_sim.json: event engine vs 64-lane bit-parallel engine on the
-# same s13207 workload (vectors/s is the per-stimulus-vector comparison)
-# plus one full differential check with the fast path on and off.
-# allocs/op on the engine benchmarks documents the pooled, steady-state
-# Run buffers.
+# BENCH_sim.json: event engine vs the zero-delay and continuous-time
+# bit-parallel engines on the same s13207 workload (vectors/s and
+# lanes/s are the per-stimulus-vector comparison; lane-width records
+# the word configuration, 64 = one word, 256 = four), per-side
+# original/optimized lanes/s on an optimized s5378 pair, plus one full
+# differential check with the fast path at 64 and 256 lanes and forced
+# off. allocs/op on the engine benchmarks documents the pooled,
+# steady-state Run buffers.
 bench-sim:
-	$(GO) test -json -run '^$$' -bench 'EventSim|BitSim|VerifyEquivalence' -benchmem . > BENCH_sim.json
+	$(GO) test -json -run '^$$' -bench 'EventSim|BitSim|WaveSim|VerifyEquivalence' -benchmem . > BENCH_sim.json
 	@grep -o '"Output":"Benchmark[^"]*\|"Output":"[^"]*ns/op[^"]*' BENCH_sim.json | sed 's/\"Output\":\"//;s/\\t/\t/g;s/\\n//' || true
 	@git diff --quiet -- BENCH_sim.json 2>/dev/null || \
 		echo "note: BENCH_sim.json changed — review the numbers and commit the update"

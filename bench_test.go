@@ -519,6 +519,105 @@ func BenchmarkBitSim(b *testing.B) {
 	b.ReportMetric(float64(b.N)*64/b.Elapsed().Seconds(), "vectors/s")
 }
 
+// BenchmarkWaveSim measures the word-parallel continuous-time engine on
+// the same s13207 workload as BenchmarkEventSim: identical circuit,
+// period and cycle count, so lanes/s here against the event engine's
+// vectors/s is the direct per-stimulus-vector speedup of widening the
+// exact event semantics to 64 (one word) and 256 (four words) lanes.
+func BenchmarkWaveSim(b *testing.B) {
+	c := virtualsync.GenerateBenchmark("s13207")
+	lib := celllib.Default()
+	for _, lanes := range []int{64, 256} {
+		b.Run(fmt.Sprintf("lanes=%d", lanes), func(b *testing.B) {
+			words, err := sim.PackStimulus(sim.LaneStimulus(c, simBenchCycles, 0, 1, lanes))
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := sim.NewWave(c, lib, sim.WaveOptions{T: 500, Cycles: simBenchCycles, Lanes: lanes})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Run(words); err != nil { // warm the arena and queue
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Run(words); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(lanes), "lane-width")
+			b.ReportMetric(float64(b.N)*float64(lanes)/b.Elapsed().Seconds(), "lanes/s")
+		})
+	}
+}
+
+// BenchmarkVerifyEquivalenceSides measures each side of one real
+// bit-parallel equivalence check in isolation, on the s5378 suite
+// circuit optimized once in setup: the original (baseline) side runs
+// the zero-delay BitSim, the wave-pipelined optimized side the
+// continuous-time WaveSim — the engine split VerifyEquivalenceLanes
+// itself selects for this pair. lanes/s per side shows where the
+// verification budget goes at 64 and 256 lanes.
+func BenchmarkVerifyEquivalenceSides(b *testing.B) {
+	c := virtualsync.GenerateBenchmark("s5378")
+	lib := celllib.Default()
+	base, err := virtualsync.RetimeAndSize(c, lib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := virtualsync.Optimize(base.Circuit, lib, virtualsync.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, lanes := range []int{64, 256} {
+		words, err := sim.PackStimulus(sim.LaneStimulus(base.Circuit, simBenchCycles, 0, 1, lanes))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("side=original/lanes=%d", lanes), func(b *testing.B) {
+			if !sim.BitSimExact(base.Circuit) {
+				b.Fatal("baseline s5378 should be BitSimExact")
+			}
+			s, err := sim.NewBit(base.Circuit, sim.BitOptions{Cycles: simBenchCycles, Lanes: lanes})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Run(words); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Run(words); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(lanes), "lane-width")
+			b.ReportMetric(float64(b.N)*float64(lanes)/b.Elapsed().Seconds(), "lanes/s")
+		})
+		b.Run(fmt.Sprintf("side=optimized/lanes=%d", lanes), func(b *testing.B) {
+			s, err := sim.NewWave(res.Circuit, lib, sim.WaveOptions{T: res.Period, Cycles: simBenchCycles, Lanes: lanes})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Run(words); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Run(words); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(lanes), "lane-width")
+			b.ReportMetric(float64(b.N)*float64(lanes)/b.Elapsed().Seconds(), "lanes/s")
+		})
+	}
+}
+
 // verifyBenchCase returns a deterministic decodable fuzz case whose full
 // differential check passes — the representative workload of one vfuzz
 // campaign exec.
@@ -542,16 +641,21 @@ func verifyBenchCase(b *testing.B, ck *verify.Checker) *gen.Decoded {
 
 // BenchmarkVerifyEquivalence measures one full differential check
 // (optimize + simulate + compare) per iteration, with the bit-parallel
-// fast path on ("fast": 64 stimulus lanes per exec) and forced off
-// ("event": the single-lane event-engine oracle).
+// fast path on at 64 and 256 stimulus lanes per exec ("fast", both
+// sides on the exact bit-parallel engine of their timing regime, the
+// scalar event engine demoted to lane-0 calibration) and forced off
+// ("event": the single-lane event-engine oracle). lanes/s is the
+// campaign throughput the vfuzz run command reports.
 func BenchmarkVerifyEquivalence(b *testing.B) {
 	for _, mode := range []struct {
 		name    string
+		lanes   int
 		disable bool
-	}{{"fast", false}, {"event", true}} {
+	}{{"fast", 64, false}, {"fast-256", 256, false}, {"event", 1, true}} {
 		b.Run(mode.name, func(b *testing.B) {
 			ck := verify.NewChecker()
 			ck.DisableBitSim = mode.disable
+			ck.Lanes = mode.lanes
 			d := verifyBenchCase(b, ck)
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -563,6 +667,7 @@ func BenchmarkVerifyEquivalence(b *testing.B) {
 				}
 				lanes += rep.Lanes
 			}
+			b.ReportMetric(float64(mode.lanes), "lane-width")
 			b.ReportMetric(float64(lanes)/b.Elapsed().Seconds(), "lanes/s")
 		})
 	}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vfuzz run [-n 500] [-seed 1] [-search] [-no-bitsim] [-out DIR] [-cpuprofile F] [-memprofile F]
+//	vfuzz run [-n 500] [-seed 1] [-lanes 64] [-search] [-no-bitsim] [-out DIR] [-cpuprofile F] [-memprofile F]
 //	vfuzz replay FILE.bench...
 //	vfuzz shrink [-budget 150] [-mutation NAME] [-out DIR] FILE.bench
 //	vfuzz corpus-stats [-n 500] [-seed 1] [DIR]
@@ -13,9 +13,9 @@
 // failure shrinks it and stores the minimal counterexample under -out as
 // a permanent regression seed; it reports campaign throughput as both
 // execs/sec and stimulus lanes/sec (the bit-parallel fast path verifies
-// up to 64 stimulus vectors per exec). replay re-checks stored seeds
-// (including re-injecting the mutation a sensitivity seed was recorded
-// from).
+// -lanes independent stimulus vectors per exec, up to 4096). replay
+// re-checks stored seeds (including re-injecting the mutation a
+// sensitivity seed was recorded from).
 // shrink minimizes one failing seed, optionally under an injected
 // mutation. corpus-stats reports decoder and outcome distributions.
 package main
@@ -70,6 +70,7 @@ func cmdRun(args []string) {
 	n := fs.Int("n", 500, "number of random cases")
 	seed := fs.Int64("seed", 1, "campaign seed")
 	search := fs.Bool("search", false, "full period search per case (slower, deeper)")
+	lanesFlag := fs.Int("lanes", 0, "stimulus lanes per case on the bit-parallel fast path (0 = default 64, max 4096)")
 	out := fs.String("out", "internal/verify/testdata/regressions", "directory for shrunk counterexamples")
 	budget := fs.Int("budget", 0, "shrink budget in checks (0 = default)")
 	noBitSim := fs.Bool("no-bitsim", false, "force the pure event-engine oracle (baseline timing)")
@@ -92,6 +93,7 @@ func cmdRun(args []string) {
 	ck := verify.NewChecker()
 	ck.Search = *search
 	ck.DisableBitSim = *noBitSim
+	ck.Lanes = *lanesFlag
 	rng := rand.New(rand.NewSource(*seed))
 	tally := map[string]int{}
 	failures, execs, lanes, fastExecs := 0, 0, 0, 0
@@ -138,8 +140,8 @@ func cmdRun(args []string) {
 	}
 	fmt.Println()
 	if s := elapsed.Seconds(); s > 0 && execs > 0 {
-		fmt.Printf("%d execs in %v: %.1f execs/sec, %d stimulus lanes (%.1f lanes/sec), fast path on %d/%d\n",
-			execs, elapsed.Round(time.Millisecond), float64(execs)/s, lanes, float64(lanes)/s, fastExecs, execs)
+		fmt.Printf("%d execs in %v: %.1f execs/sec, %d stimulus lanes at width %d (%.1f lanes/sec), fast path on %d/%d\n",
+			execs, elapsed.Round(time.Millisecond), float64(execs)/s, lanes, ck.LaneWidth(), float64(lanes)/s, fastExecs, execs)
 	}
 
 	if *memprofile != "" {

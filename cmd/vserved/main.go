@@ -10,11 +10,12 @@
 //	GET    /v1/jobs/{id}/events NDJSON progress stream
 //	GET    /metrics             Prometheus text format
 //	GET    /healthz             liveness
+//	GET    /debug/pprof/...     runtime profiles (only with -pprof)
 //
 // Usage:
 //
 //	vserved [-addr :8080] [-workers n] [-queue n] [-cache n]
-//	        [-job-timeout 5m] [-drain-timeout 30s] [-lib file]
+//	        [-job-timeout 5m] [-drain-timeout 30s] [-lib file] [-pprof]
 //	vserved -smoke                      # one-job self-test, then exit
 //	vserved -load URL [-n 32] [-clients 4] [-bench s5378,...]
 package main
@@ -26,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,6 +45,7 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "default per-job deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
 	libPath := flag.String("lib", "", "default cell library file (default: built-in vs45)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: the profiles leak operational detail)")
 	smoke := flag.Bool("smoke", false, "start an in-process server, run one job end to end, verify cache+metrics, exit")
 	load := flag.String("load", "", "run the closed-loop load generator against this base URL instead of serving")
 	loadN := flag.Int("n", 32, "load: total requests")
@@ -73,7 +76,19 @@ func main() {
 	// The service gets a background base context: a signal must stop
 	// intake and drain, not cancel in-flight pipelines outright.
 	srv := service.New(context.Background(), cfg)
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("vserved: pprof endpoints enabled under /debug/pprof/")
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -6,7 +6,7 @@
 //
 //	vsync [-lib file] [-bench name] [-o out.bench] [-step 0.005]
 //	      [-frac 0.95] [-no-latches] [-no-replace] [-verify n]
-//	      [-lp-kernel auto|dense|lu]
+//	      [-verify-lanes n] [-lp-kernel auto|dense|lu]
 //	      [-eco edits.txt [-eco-refine]] [circuit.bench]
 //
 // With -eco, the initial optimization is kept as a live session; the
@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"virtualsync"
+	"virtualsync/internal/sim"
 )
 
 func main() {
@@ -44,6 +45,7 @@ func run(args []string, out io.Writer) error {
 	noLatches := fs.Bool("no-latches", false, "disable latch delay units")
 	noReplace := fs.Bool("no-replace", false, "disable buffer replacement (paper 5.4)")
 	verify := fs.Int("verify", 48, "equivalence-simulation cycles (0 to skip)")
+	verifyLanes := fs.Int("verify-lanes", 64, "independent stimulus lanes verified bit-parallel (1: scalar event engine only, max 4096)")
 	skipBaseline := fs.Bool("skip-baseline", false, "assume the input is already retimed and sized")
 	timeout := fs.Duration("timeout", 0, "abort the period search after this long (0 = no limit)")
 	ecoPath := fs.String("eco", "", "ECO edit script to apply and re-optimize incrementally")
@@ -94,7 +96,7 @@ func run(args []string, out io.Writer) error {
 	opts.LPKernel = kernel
 
 	if *ecoPath != "" {
-		return runECO(ctx, out, base, lib, opts, *step, *ecoPath, *ecoRefine, *verify, *outPath, *timeout)
+		return runECO(ctx, out, base, lib, opts, *step, *ecoPath, *ecoRefine, *verify, *verifyLanes, *outPath, *timeout)
 	}
 
 	res, err := virtualsync.OptimizeCtx(ctx, base, lib, opts, *step)
@@ -115,7 +117,7 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "  runtime: %v\n", res.Runtime)
 
 	if *verify > 0 {
-		if err := verifyPair(out, base, res.Circuit, lib, res.BaselinePeriod, res.Period, *verify); err != nil {
+		if err := verifyPair(out, base, res.Circuit, lib, res.BaselinePeriod, res.Period, *verify, *verifyLanes); err != nil {
 			return err
 		}
 	}
@@ -127,8 +129,8 @@ func run(args []string, out io.Writer) error {
 // no wall-clock times so that its output is deterministic for a given
 // input (the golden tests depend on this).
 func runECO(ctx context.Context, out io.Writer, base *virtualsync.Circuit, lib *virtualsync.Library,
-	opts virtualsync.Options, step float64, ecoPath string, refine bool, verify int, outPath string,
-	timeout time.Duration) error {
+	opts virtualsync.Options, step float64, ecoPath string, refine bool, verify, verifyLanes int,
+	outPath string, timeout time.Duration) error {
 	script, err := os.ReadFile(ecoPath)
 	if err != nil {
 		return err
@@ -185,15 +187,45 @@ func runECO(ctx context.Context, out io.Writer, base *virtualsync.Circuit, lib *
 	fmt.Fprintf(out, "  T: %.2f -> %.2f; area: %.1f -> %.1f\n", cold.Period, res.Period, cold.Area, res.Area)
 
 	if verify > 0 {
-		if err := verifyPair(out, sess.Circuit, res.Circuit, lib, res.BaselinePeriod, res.Period, verify); err != nil {
+		if err := verifyPair(out, sess.Circuit, res.Circuit, lib, res.BaselinePeriod, res.Period, verify, verifyLanes); err != nil {
 			return err
 		}
 	}
 	return writeOut(out, outPath, res.Circuit)
 }
 
-// verifyPair runs functional-equivalence simulation and reports the outcome.
-func verifyPair(out io.Writer, a, b *virtualsync.Circuit, lib *virtualsync.Library, Ta, Tb float64, cycles int) error {
+// verifyPair runs functional-equivalence simulation and reports the
+// outcome. With lanes > 1 both sides run bit-parallel over that many
+// independent stimulus vectors first; a clean pass is accepted as is,
+// while every flagged lane is re-confirmed through the scalar
+// event-engine oracle, which has the final word on any failure.
+func verifyPair(out io.Writer, a, b *virtualsync.Circuit, lib *virtualsync.Library, Ta, Tb float64, cycles, lanes int) error {
+	if lanes > 1 {
+		lr, err := virtualsync.VerifyEquivalenceLanes(a, b, lib, Ta, Tb, cycles, 8, lanes, 1)
+		if err == nil && !lr.Fail() {
+			fmt.Fprintf(out, "  functional equivalence: OK over %d cycles x %d lanes\n", cycles, lr.Lanes)
+			return nil
+		}
+		if err == nil {
+			fmt.Fprintf(out, "  bit-parallel equivalence flagged %d of %d lanes; re-confirming on the event engine\n",
+				lr.FlaggedLanes(), lr.Lanes)
+			stims := sim.LaneStimulus(a, cycles, 0, 1, lanes)
+			for l := 0; l < lanes; l++ {
+				if !sim.MaskHasLane(lr.Mask, l) {
+					continue
+				}
+				ms, err := sim.VerifyEquivalenceStim(a, b, lib, Ta, Tb, 8, stims[l])
+				if err != nil {
+					return err
+				}
+				if len(ms) != 0 {
+					return fmt.Errorf("functional equivalence: lane %d: %d mismatches over %d cycles (first: %v)",
+						l, len(ms), cycles, ms[0])
+				}
+			}
+			fmt.Fprintf(out, "  event engine confirmed none of the flagged lanes; keeping the scalar verdict\n")
+		}
+	}
 	ms, err := virtualsync.VerifyEquivalence(a, b, lib, Ta, Tb, cycles, 8, 1)
 	if err != nil {
 		return err

@@ -3,20 +3,10 @@ package gen
 import "virtualsync/internal/prng"
 
 // LaneSeeds derives n stimulus seeds for bit-parallel verification from
-// one base seed. Lane 0 keeps the base seed itself, so the historical
-// single-stimulus behavior (regression seeds, shrinker replays, corpus
-// knobs lines) reproduces exactly as lane 0 of a packed run; the
-// remaining lanes get splitmix-derived seeds that are deterministic in
-// (base, lane) and do not collide with naturally occurring small seeds.
+// one base seed; see prng.LaneSeeds for the derivation contract (lane 0
+// keeps the base seed). It is re-exported here because the verification
+// harness and the simulation engines must agree on the derivation, and
+// gen is where the harness historically found it.
 func LaneSeeds(base int64, n int) []int64 {
-	out := make([]int64, n)
-	if n == 0 {
-		return out
-	}
-	out[0] = base
-	root := prng.New(uint64(base))
-	for i := 1; i < n; i++ {
-		out[i] = int64(root.Stream(uint64(i)).Uint64())
-	}
-	return out
+	return prng.LaneSeeds(base, n)
 }

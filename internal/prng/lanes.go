@@ -1,0 +1,20 @@
+package prng
+
+// LaneSeeds derives n stimulus seeds for bit-parallel simulation from
+// one base seed. Lane 0 keeps the base seed itself, so the historical
+// single-stimulus behavior (regression seeds, shrinker replays, corpus
+// knobs lines) reproduces exactly as lane 0 of a packed run; the
+// remaining lanes get splitmix-derived seeds that are deterministic in
+// (base, lane) and do not collide with naturally occurring small seeds.
+func LaneSeeds(base int64, n int) []int64 {
+	out := make([]int64, n)
+	if n == 0 {
+		return out
+	}
+	out[0] = base
+	root := New(uint64(base))
+	for i := 1; i < n; i++ {
+		out[i] = int64(root.Stream(uint64(i)).Uint64())
+	}
+	return out
+}

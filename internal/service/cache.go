@@ -47,8 +47,8 @@ func CacheKey(c *netlist.Circuit, lib *celllib.Library, p Params) (string, error
 	}
 	// The deadline shapes job scheduling, not the optimization result,
 	// so it stays out of the key.
-	fmt.Fprintf(h, "params|step=%g|frac=%g|latches=%v|replace=%v|skipbase=%v|verify=%d\n",
-		p.StepFrac, p.SelectFrac, *p.UseLatches, *p.BufferReplace, p.SkipBaseline, p.VerifyCycles)
+	fmt.Fprintf(h, "params|step=%g|frac=%g|latches=%v|replace=%v|skipbase=%v|verify=%d|lanes=%d\n",
+		p.StepFrac, p.SelectFrac, *p.UseLatches, *p.BufferReplace, p.SkipBaseline, p.VerifyCycles, p.VerifyLanes)
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"virtualsync/internal/lp"
+	"virtualsync/internal/sim"
 )
 
 // Job lifecycle states.
@@ -40,6 +41,12 @@ type Params struct {
 	// VerifyCycles runs functional-equivalence simulation over this many
 	// cycles (0: skip).
 	VerifyCycles int `json:"verify_cycles,omitempty"`
+	// VerifyLanes selects how many independent stimulus lanes the
+	// equivalence simulation covers (0 or 1: the single historical
+	// vector on the scalar event engine; >1: bit-parallel engines with
+	// event-engine lane-0 calibration, capped at sim.MaxLanes). Ignored
+	// when VerifyCycles is 0.
+	VerifyLanes int `json:"verify_lanes,omitempty"`
 	// TimeoutMS bounds the job end to end; 0 uses the server default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
@@ -61,6 +68,12 @@ func (p Params) Normalize() Params {
 	}
 	if p.VerifyCycles < 0 {
 		p.VerifyCycles = 0
+	}
+	if p.VerifyLanes < 0 {
+		p.VerifyLanes = 0
+	}
+	if p.VerifyLanes > sim.MaxLanes {
+		p.VerifyLanes = sim.MaxLanes
 	}
 	if p.TimeoutMS < 0 {
 		p.TimeoutMS = 0
@@ -154,6 +167,9 @@ type JobResult struct {
 	// EquivOK is set when the request asked for equivalence simulation.
 	EquivOK    *bool `json:"equiv_ok,omitempty"`
 	Mismatches int   `json:"mismatches,omitempty"`
+	// VerifiedLanes counts the independent stimulus lanes the
+	// equivalence verdict covered (1 on the scalar event path).
+	VerifiedLanes int `json:"verified_lanes,omitempty"`
 
 	Solver    SolverStats `json:"solver"`
 	RuntimeMS int64       `json:"runtime_ms"`

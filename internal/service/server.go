@@ -186,6 +186,8 @@ type Server struct {
 	mECOCold        *Counter
 	mECOFallback    *Counter
 
+	mVerifiedLanes *Counter
+
 	// preRun, when non-nil, runs at the head of every executed pipeline
 	// (test hook for deterministic timeout/cancel/shutdown scenarios).
 	preRun func(ctx context.Context, j *job)
@@ -223,6 +225,7 @@ func New(ctx context.Context, cfg Config) *Server {
 	s.mECONearMiss = s.reg.Counter("vsync_eco_nearmiss_total", "Plain submissions rerouted to the incremental path by structural match.")
 	s.mECOCold = s.reg.Counter("vsync_eco_cold_total", "ECO jobs that found no session and ran the cold pipeline.")
 	s.mECOFallback = s.reg.Counter("vsync_eco_fallback_total", "Incremental attempts that degraded to the cold period search internally.")
+	s.mVerifiedLanes = s.reg.Counter("vsync_verify_lanes_total", "Independent stimulus lanes covered by equivalence verification.")
 	s.reg.Gauge("vsync_cache_entries", "Results held in the LRU cache.", func() float64 { return float64(s.cache.Len()) })
 	s.reg.Gauge("vsync_sessions", "Live optimization sessions held for ECO re-use.", func() float64 { return float64(s.sessions.Len()) })
 	s.reg.Gauge("vsync_jobs_inflight", "Tracked jobs not yet in a terminal state.", s.inflightCount)
@@ -833,14 +836,9 @@ func (s *Server) buildResult(ctx context.Context, j *job, base *netlist.Circuit,
 				warmup = e.Lambda + 3
 			}
 		}
-		ms, err := sim.VerifyEquivalence(base, res.Circuit, j.lib,
-			res.BaselinePeriod, res.Period, j.params.VerifyCycles, warmup, 1)
-		if err != nil {
+		if err := s.verifyEquivalence(j, base, res, out, warmup); err != nil {
 			return nil, fmt.Errorf("equivalence sim: %w", err)
 		}
-		ok := len(ms) == 0
-		out.EquivOK = &ok
-		out.Mismatches = len(ms)
 	}
 	var buf bytes.Buffer
 	if err := netlist.Write(&buf, res.Circuit); err != nil {
@@ -848,4 +846,77 @@ func (s *Server) buildResult(ctx context.Context, j *job, base *netlist.Circuit,
 	}
 	out.Netlist = buf.String()
 	return out, nil
+}
+
+// verifyEquivalence fills out's equivalence fields. With VerifyLanes
+// > 1 both sides run bit-parallel (zero-delay BitSim where provably
+// exact, the word-parallel continuous-time WaveSim otherwise), lane 0
+// is re-simulated on the scalar event engine as a calibration check,
+// and any disagreeing lane is re-confirmed through the full
+// two-event-sim oracle before the job reports a mismatch — the same
+// discipline as internal/verify's fast path. Engine or calibration
+// trouble falls back to the historical single-lane event path.
+func (s *Server) verifyEquivalence(j *job, base *netlist.Circuit, res *core.Result, out *JobResult, warmup int) error {
+	const verifySeed = 1
+	cycles := j.params.VerifyCycles
+	if lanes := j.params.VerifyLanes; lanes > 1 {
+		stims := sim.LaneStimulus(base, cycles, 0, verifySeed, lanes)
+		ok, mismatches, err := s.verifyLanes(j, base, res, warmup, stims)
+		if err == nil {
+			out.EquivOK = &ok
+			out.Mismatches = mismatches
+			out.VerifiedLanes = lanes
+			s.mVerifiedLanes.Add(float64(lanes))
+			return nil
+		}
+	}
+	ms, err := sim.VerifyEquivalence(base, res.Circuit, j.lib,
+		res.BaselinePeriod, res.Period, cycles, warmup, verifySeed)
+	if err != nil {
+		return err
+	}
+	ok := len(ms) == 0
+	out.EquivOK = &ok
+	out.Mismatches = len(ms)
+	out.VerifiedLanes = 1
+	s.mVerifiedLanes.Add(1)
+	return nil
+}
+
+// verifyLanes is the bit-parallel arm of verifyEquivalence.
+func (s *Server) verifyLanes(j *job, base *netlist.Circuit, res *core.Result, warmup int, stims [][][]bool) (ok bool, mismatches int, err error) {
+	lr, err := sim.VerifyEquivalenceLanes(base, res.Circuit, j.lib,
+		res.BaselinePeriod, res.Period, warmup, stims)
+	if err != nil {
+		return false, 0, err
+	}
+	lane0, err := lr.TraceB.Lane(0)
+	if err != nil {
+		return false, 0, err
+	}
+	ev, err := sim.New(res.Circuit, j.lib, sim.Options{T: res.Period, Cycles: len(stims[0])})
+	if err != nil {
+		return false, 0, err
+	}
+	tr, err := ev.Run(stims[0])
+	if err != nil {
+		return false, 0, err
+	}
+	if len(sim.CompareTraces(tr, lane0, warmup)) > 0 {
+		return false, 0, fmt.Errorf("lane-0 calibration failed")
+	}
+	for l := range stims {
+		if !sim.MaskHasLane(lr.Mask, l) {
+			continue
+		}
+		ms, err := sim.VerifyEquivalenceStim(base, res.Circuit, j.lib,
+			res.BaselinePeriod, res.Period, warmup, stims[l])
+		if err != nil {
+			return false, 0, err
+		}
+		if len(ms) > 0 {
+			return false, len(ms), nil
+		}
+	}
+	return true, 0, nil
 }

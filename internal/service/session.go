@@ -32,8 +32,8 @@ func ShapeKey(c *netlist.Circuit, lib *celllib.Library, p Params) (string, error
 	if err := celllib.WriteLibrary(h, lib); err != nil {
 		return "", fmt.Errorf("service: hashing library: %w", err)
 	}
-	fmt.Fprintf(h, "params|step=%g|frac=%g|latches=%v|replace=%v|skipbase=%v|verify=%d\n",
-		p.StepFrac, p.SelectFrac, *p.UseLatches, *p.BufferReplace, p.SkipBaseline, p.VerifyCycles)
+	fmt.Fprintf(h, "params|step=%g|frac=%g|latches=%v|replace=%v|skipbase=%v|verify=%d|lanes=%d\n",
+		p.StepFrac, p.SelectFrac, *p.UseLatches, *p.BufferReplace, p.SkipBaseline, p.VerifyCycles, p.VerifyLanes)
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 

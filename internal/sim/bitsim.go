@@ -8,9 +8,10 @@ import (
 )
 
 // BitSim is the levelized, two-phase, bit-parallel simulation engine: it
-// evaluates up to 64 independent stimulus vectors at once by packing one
-// lane per bit of a uint64 word per net, and replaying the event
-// engine's per-cycle clock-action schedule under zero-delay semantics.
+// evaluates up to MaxLanes independent stimulus vectors at once by
+// packing one lane per bit of a K-word uint64 value per net (K chosen
+// from the lane count), and replaying the event engine's per-cycle
+// clock-action schedule under zero-delay semantics.
 //
 // Per cycle the engine visits a precomputed list of "instants" (distinct
 // clock phases within the period, in time order). At each instant all
@@ -24,12 +25,13 @@ import (
 // (every generated original — see BitSimExact), zero-delay semantics
 // coincide with the event engine at any period at or above the STA
 // minimum. For optimized circuits carrying multi-period logic waves the
-// two can diverge, which is why the verification fast path calibrates a
-// reference lane against the event engine before trusting BitSim
-// verdicts (see internal/verify).
+// two diverge structurally; those run on WaveSim, the word-parallel
+// continuous-time engine (see wavesim.go), which is exact per lane at
+// any period.
 type BitSim struct {
 	c    *netlist.Circuit
 	opts BitOptions
+	k    int // words per value
 
 	comb    []*netlist.Node // combinational gates in topo order
 	inputs  []*netlist.Node
@@ -39,7 +41,7 @@ type BitSim struct {
 	schedule    []bitInstant
 	hasDeferred bool
 
-	words    []uint64   // current value word per node
+	words    []uint64   // current value words, k per node
 	open     []bool     // latch transparency, per node
 	traceRef [][]uint64 // per-node alias into trace.Words (nil if untraced)
 	scratch  []uint64   // snapshot reads gathered before instant writes
@@ -50,7 +52,7 @@ type BitSim struct {
 type BitOptions struct {
 	Duty   float64 // latch transparency starts at phase + Duty (fraction of T)
 	Cycles int     // number of clock cycles to simulate
-	Lanes  int     // meaningful stimulus lanes, 1..64
+	Lanes  int     // meaningful stimulus lanes, 1..MaxLanes
 }
 
 // bitInstant groups all clock actions that share one phase fraction.
@@ -76,8 +78,8 @@ func NewBit(c *netlist.Circuit, opts BitOptions) (*BitSim, error) {
 	if opts.Cycles <= 0 {
 		return nil, fmt.Errorf("sim: need positive cycle count")
 	}
-	if opts.Lanes < 1 || opts.Lanes > 64 {
-		return nil, fmt.Errorf("sim: lane count %d outside 1..64", opts.Lanes)
+	if opts.Lanes < 1 || opts.Lanes > MaxLanes {
+		return nil, fmt.Errorf("sim: lane count %d outside 1..%d", opts.Lanes, MaxLanes)
 	}
 	if opts.Duty <= 0 || opts.Duty >= 1 {
 		opts.Duty = 0.5
@@ -86,14 +88,16 @@ func NewBit(c *netlist.Circuit, opts BitOptions) (*BitSim, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: %v", err)
 	}
+	k := laneWords(opts.Lanes)
 	s := &BitSim{
 		c:       c,
 		opts:    opts,
+		k:       k,
 		inputs:  c.Inputs(),
 		outputs: c.Outputs(),
-		words:   make([]uint64, len(c.Nodes)),
+		words:   make([]uint64, len(c.Nodes)*k),
 		open:    make([]bool, len(c.Nodes)),
-		trace:   BitTrace{Lanes: opts.Lanes, Words: make(map[string][]uint64)},
+		trace:   BitTrace{Lanes: opts.Lanes, K: k, Words: make(map[string][]uint64)},
 	}
 	for _, n := range order {
 		if n.Kind.IsCombinational() {
@@ -140,7 +144,7 @@ func NewBit(c *netlist.Circuit, opts BitOptions) (*BitSim, error) {
 		s.schedule = append(s.schedule, *ins)
 	}
 	sort.Slice(s.schedule, func(i, j int) bool { return s.schedule[i].frac < s.schedule[j].frac })
-	s.scratch = make([]uint64, 0, actions)
+	s.scratch = make([]uint64, 0, actions*k)
 
 	s.traceRef = make([][]uint64, len(c.Nodes))
 	for _, n := range c.Nodes {
@@ -149,12 +153,17 @@ func NewBit(c *netlist.Circuit, opts BitOptions) (*BitSim, error) {
 		}
 		switch n.Kind {
 		case netlist.KindDFF, netlist.KindLatch, netlist.KindOutput:
-			row := make([]uint64, opts.Cycles)
+			row := make([]uint64, opts.Cycles*k)
 			s.trace.Words[n.Name] = row
 			s.traceRef[n.ID] = row
 		}
 	}
 	return s, nil
+}
+
+// val returns node id's k-word value slice.
+func (s *BitSim) val(id netlist.NodeID) []uint64 {
+	return s.words[int(id)*s.k : int(id)*s.k+s.k]
 }
 
 // SupportsBitSim reports whether c can run on the bit-parallel engine at
@@ -171,8 +180,8 @@ func SupportsBitSim(c *netlist.Circuit) bool {
 // STA minimum: every sequential element is an edge-triggered flip-flop
 // clocked at phase 0. Generated original circuits satisfy this; circuits
 // rebuilt by the optimizer (phase-shifted flip-flops, latch delay units,
-// multi-period logic waves) generally do not, and need event-engine
-// calibration before BitSim results can be trusted.
+// multi-period logic waves) generally do not, and run on WaveSim
+// instead.
 func BitSimExact(c *netlist.Circuit) bool {
 	if !SupportsBitSim(c) {
 		return false
@@ -194,9 +203,11 @@ func BitSimExact(c *netlist.Circuit) bool {
 }
 
 // Run simulates opts.Cycles cycles with packed stimulus words:
-// stim[cycle][i] carries one bit per lane for the i-th primary input
-// (c.Inputs() order). Lanes beyond opts.Lanes must be zero — they
-// simulate an all-zero-input circuit and are excluded from comparisons.
+// stim[cycle][i*K : (i+1)*K] carries one bit per lane for the i-th
+// primary input (c.Inputs() order), K words per input as produced by
+// PackStimulus for the configured lane count. Lanes beyond opts.Lanes
+// must be zero — they simulate an all-zero-input circuit and are
+// excluded from comparisons.
 //
 // Run may be called repeatedly; buffers and the returned trace are
 // reused, so the result is only valid until the next Run. Run fails if
@@ -207,8 +218,8 @@ func (s *BitSim) Run(stim [][]uint64) (*BitTrace, error) {
 		return nil, fmt.Errorf("sim: stimulus covers %d of %d cycles", len(stim), s.opts.Cycles)
 	}
 	for cyc, vec := range stim[:s.opts.Cycles] {
-		if len(vec) != len(s.inputs) {
-			return nil, fmt.Errorf("sim: cycle %d stimulus has %d words for %d inputs", cyc, len(vec), len(s.inputs))
+		if len(vec) != len(s.inputs)*s.k {
+			return nil, fmt.Errorf("sim: cycle %d stimulus has %d words for %d inputs at K=%d", cyc, len(vec), len(s.inputs), s.k)
 		}
 	}
 	s.reset()
@@ -216,7 +227,7 @@ func (s *BitSim) Run(stim [][]uint64) (*BitTrace, error) {
 	// Settle initial combinational values: everything starts at 0
 	// except constants, latches start opaque.
 	for _, n := range s.comb {
-		s.words[n.ID] = evalGateWord(n, s.words)
+		evalGateWords(n, s.words, s.k, s.val(n.ID))
 	}
 
 	// The loop runs one extra iteration past the last cycle when some
@@ -237,7 +248,7 @@ func (s *BitSim) Run(stim [][]uint64) (*BitTrace, error) {
 			// the event engine reads them at the next cycle boundary,
 			// before any of that boundary's clock or input actions.
 			for _, n := range s.outputs {
-				s.traceRef[n.ID][cyc] = s.words[n.Fanins[0]]
+				copy(s.traceRef[n.ID][cyc*s.k:cyc*s.k+s.k], s.val(n.Fanins[0]))
 			}
 		}
 	}
@@ -253,7 +264,10 @@ func (s *BitSim) reset() {
 	}
 	for _, n := range s.c.Nodes {
 		if !n.Dead() && n.Kind == netlist.KindConst1 {
-			s.words[n.ID] = ^uint64(0)
+			v := s.val(n.ID)
+			for i := range v {
+				v[i] = ^uint64(0)
+			}
 		}
 	}
 	for _, row := range s.trace.Words {
@@ -269,14 +283,14 @@ func (s *BitSim) reset() {
 func (s *BitSim) instant(ins *bitInstant, cyc int, stim [][]uint64) error {
 	inCycle := cyc < s.opts.Cycles
 
-	// Phase A: gather every capture's data word from the settled
+	// Phase A: gather every capture's data words from the settled
 	// pre-instant state. No writes happen until all reads are done,
 	// which reproduces the event engine's snapshot behavior (same-time
 	// clock actions all see values from before the instant).
 	sc := s.scratch[:0]
 	if inCycle {
 		for _, id := range ins.dffs {
-			sc = append(sc, s.words[s.c.Nodes[id].Fanins[0]])
+			sc = append(sc, s.val(s.c.Nodes[id].Fanins[0])...)
 		}
 	}
 	for _, oa := range ins.opens {
@@ -285,7 +299,7 @@ func (s *BitSim) instant(ins *bitInstant, cyc int, stim [][]uint64) error {
 			attr--
 		}
 		if attr >= 0 && attr < s.opts.Cycles {
-			sc = append(sc, s.words[s.c.Nodes[oa.node].Fanins[0]])
+			sc = append(sc, s.val(s.c.Nodes[oa.node].Fanins[0])...)
 		}
 	}
 
@@ -294,10 +308,10 @@ func (s *BitSim) instant(ins *bitInstant, cyc int, stim [][]uint64) error {
 	k := 0
 	if inCycle {
 		for _, id := range ins.dffs {
-			d := sc[k]
-			k++
-			s.traceRef[id][cyc] = d
-			s.words[id] = d
+			d := sc[k : k+s.k]
+			k += s.k
+			copy(s.traceRef[id][cyc*s.k:], d)
+			copy(s.val(id), d)
 		}
 		for _, id := range ins.closes {
 			s.open[id] = false
@@ -311,17 +325,21 @@ func (s *BitSim) instant(ins *bitInstant, cyc int, stim [][]uint64) error {
 		if attr < 0 || attr >= s.opts.Cycles {
 			continue
 		}
-		d := sc[k]
-		k++
-		s.traceRef[oa.node][attr] = d
-		s.words[oa.node] = d
+		d := sc[k : k+s.k]
+		k += s.k
+		copy(s.traceRef[oa.node][attr*s.k:], d)
+		copy(s.val(oa.node), d)
 		s.open[oa.node] = true
 	}
 	if ins.frac == 0 && inCycle {
 		for i, n := range s.inputs {
-			if s.words[n.ID] != stim[cyc][i] {
-				s.words[n.ID] = stim[cyc][i]
-				wrote = true
+			src := stim[cyc][i*s.k : (i+1)*s.k]
+			dst := s.val(n.ID)
+			for w := range dst {
+				if dst[w] != src[w] {
+					dst[w] = src[w]
+					wrote = true
+				}
 			}
 		}
 	}
@@ -339,7 +357,7 @@ func (s *BitSim) instant(ins *bitInstant, cyc int, stim [][]uint64) error {
 func (s *BitSim) settle() error {
 	for pass := 0; pass <= s.nLatch+1; pass++ {
 		for _, n := range s.comb {
-			s.words[n.ID] = evalGateWord(n, s.words)
+			evalGateWords(n, s.words, s.k, s.val(n.ID))
 		}
 		changed := false
 		if s.nLatch > 0 {
@@ -347,9 +365,13 @@ func (s *BitSim) settle() error {
 				if n.Dead() || n.Kind != netlist.KindLatch || !s.open[n.ID] {
 					continue
 				}
-				if d := s.words[n.Fanins[0]]; d != s.words[n.ID] {
-					s.words[n.ID] = d
-					changed = true
+				d := s.val(n.Fanins[0])
+				v := s.val(n.ID)
+				for w := range v {
+					if v[w] != d[w] {
+						v[w] = d[w]
+						changed = true
+					}
 				}
 			}
 		}
@@ -360,8 +382,73 @@ func (s *BitSim) settle() error {
 	return fmt.Errorf("sim: open-latch feedback does not settle under zero delay")
 }
 
-// evalGateWord computes a combinational gate's output word: one bitwise
-// operation evaluates the gate for all 64 lanes at once.
+// evalGateWords computes a combinational gate's output words into dst:
+// one bitwise operation per word evaluates the gate for 64 lanes at
+// once. vals holds k words per node; dst may alias the gate's own slot
+// (fanins are distinct nodes in an acyclic combinational graph).
+func evalGateWords(n *netlist.Node, vals []uint64, k int, dst []uint64) {
+	switch n.Kind {
+	case netlist.KindBuf:
+		copy(dst, vals[int(n.Fanins[0])*k:int(n.Fanins[0])*k+k])
+	case netlist.KindNot:
+		src := vals[int(n.Fanins[0])*k : int(n.Fanins[0])*k+k]
+		for w := range dst {
+			dst[w] = ^src[w]
+		}
+	case netlist.KindAnd, netlist.KindNand:
+		for w := range dst {
+			dst[w] = ^uint64(0)
+		}
+		for _, f := range n.Fanins {
+			src := vals[int(f)*k : int(f)*k+k]
+			for w := range dst {
+				dst[w] &= src[w]
+			}
+		}
+		if n.Kind == netlist.KindNand {
+			for w := range dst {
+				dst[w] = ^dst[w]
+			}
+		}
+	case netlist.KindOr, netlist.KindNor:
+		for w := range dst {
+			dst[w] = 0
+		}
+		for _, f := range n.Fanins {
+			src := vals[int(f)*k : int(f)*k+k]
+			for w := range dst {
+				dst[w] |= src[w]
+			}
+		}
+		if n.Kind == netlist.KindNor {
+			for w := range dst {
+				dst[w] = ^dst[w]
+			}
+		}
+	case netlist.KindXor, netlist.KindXnor:
+		for w := range dst {
+			dst[w] = 0
+		}
+		for _, f := range n.Fanins {
+			src := vals[int(f)*k : int(f)*k+k]
+			for w := range dst {
+				dst[w] ^= src[w]
+			}
+		}
+		if n.Kind == netlist.KindXnor {
+			for w := range dst {
+				dst[w] = ^dst[w]
+			}
+		}
+	default:
+		for w := range dst {
+			dst[w] = 0
+		}
+	}
+}
+
+// evalGateWord is the single-word (K=1, up to 64 lanes) form of
+// evalGateWords, kept for the scalar hot path and tests.
 func evalGateWord(n *netlist.Node, w []uint64) uint64 {
 	switch n.Kind {
 	case netlist.KindBuf:

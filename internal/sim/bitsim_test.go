@@ -21,31 +21,6 @@ func packedRandom(t *testing.T, c *netlist.Circuit, cycles, lanes int) ([][][]bo
 	return scalar, words
 }
 
-func TestPackUnpackRoundTrip(t *testing.T) {
-	c := pipeline(t)
-	scalar, words := packedRandom(t, c, 12, 64)
-	for l := range scalar {
-		got := UnpackLane(words, l)
-		for cyc := range got {
-			for i := range got[cyc] {
-				if got[cyc][i] != scalar[l][cyc][i] {
-					t.Fatalf("lane %d cycle %d input %d: round trip lost %v", l, cyc, i, scalar[l][cyc][i])
-				}
-			}
-		}
-	}
-	if _, err := PackStimulus(nil); err == nil {
-		t.Fatal("packing 0 lanes should fail")
-	}
-	if _, err := PackStimulus(make([][][]bool, 65)); err == nil {
-		t.Fatal("packing 65 lanes should fail")
-	}
-	ragged := [][][]bool{{{true}}, {{true}, {false}}}
-	if _, err := PackStimulus(ragged); err == nil {
-		t.Fatal("packing ragged lanes should fail")
-	}
-}
-
 // compareAllLanes runs every lane's scalar stimulus through the event
 // engine and checks the corresponding BitTrace lane cycle for cycle.
 func compareAllLanes(t *testing.T, c *netlist.Circuit, T float64, cycles, warmup int, scalar [][][]bool, bt *BitTrace) {
@@ -204,43 +179,6 @@ func TestBitSimLatchFeedbackDoesNotSettle(t *testing.T) {
 		t.Fatal("oscillating latch loop should fail to settle")
 	}
 }
-
-func TestBitTraceLaneBounds(t *testing.T) {
-	bt := &BitTrace{Lanes: 8, Words: map[string][]uint64{"x": {0xff}}}
-	if _, err := bt.Lane(8); err == nil {
-		t.Fatal("lane 8 of 8-lane trace should be out of range")
-	}
-	if _, err := bt.Lane(-1); err == nil {
-		t.Fatal("negative lane should be out of range")
-	}
-	tr, err := bt.Lane(7)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !tr["x"][0] {
-		t.Fatal("lane 7 bit lost")
-	}
-}
-
-func TestCompareBitTracesMask(t *testing.T) {
-	a := &BitTrace{Lanes: 4, Words: map[string][]uint64{"s": {0b0101, 0b0011}}}
-	b := &BitTrace{Lanes: 4, Words: map[string][]uint64{"s": {0b0101, 0b1010}, "extra": {1, 1}}}
-	if got := CompareBitTraces(a, b, 0); got != 0b1001 {
-		t.Fatalf("mismatch mask = %04b, want 1001", got)
-	}
-	if got := CompareBitTraces(a, b, 2); got != 0 {
-		t.Fatalf("warmup past divergence should clear mask, got %04b", got)
-	}
-	// Lanes beyond the smaller trace's count are ignored.
-	b.Lanes = 2
-	if got := CompareBitTracesMaskHelper(a, b); got != 0b01 {
-		t.Fatalf("clamped mask = %04b, want 01", got)
-	}
-}
-
-// CompareBitTracesMaskHelper exists to keep the clamping expectation
-// readable at the call site.
-func CompareBitTracesMaskHelper(a, b *BitTrace) uint64 { return CompareBitTraces(a, b, 0) }
 
 func TestEventSimulatorReusedAcrossRuns(t *testing.T) {
 	c := latchMix(t)

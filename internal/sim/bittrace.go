@@ -2,13 +2,33 @@ package sim
 
 import "fmt"
 
-// BitTrace is the bit-parallel counterpart of Trace: Words[name][cycle]
-// packs one sampled bit per lane. Lane l of every word corresponds to
-// one complete scalar simulation, so a BitTrace converts losslessly to
-// Lanes independent Traces.
+// MaxLanes bounds the stimulus lanes of one bit-parallel run: up to 64
+// machine words per value, 64 lanes per word.
+const MaxLanes = 64 * 64
+
+// laneWords returns the number of uint64 words needed to carry n lanes
+// — the K of the [K]uint64 value representation, selected at pack time.
+func laneWords(n int) int { return (n + 63) / 64 }
+
+// BitTrace is the bit-parallel counterpart of Trace: each sampled value
+// is K consecutive uint64 words packing one bit per lane, and
+// Words[name] concatenates the per-cycle samples, so Words[name][c*K+w]
+// is word w of the cycle-c sample. Lane l of every sample (bit l%64 of
+// word l/64) corresponds to one complete scalar simulation, so a
+// BitTrace converts losslessly to Lanes independent Traces.
 type BitTrace struct {
 	Lanes int
+	K     int // words per sample; 0 is read as 1 (the historical layout)
 	Words map[string][]uint64
+}
+
+// wordsPer returns the trace's sample stride, tolerating zero-valued K
+// on hand-built traces.
+func (t *BitTrace) wordsPer() int {
+	if t.K <= 0 {
+		return 1
+	}
+	return t.K
 }
 
 // laneMask returns a word with the low n lane bits set.
@@ -19,18 +39,51 @@ func laneMask(n int) uint64 {
 	return (uint64(1) << uint(n)) - 1
 }
 
+// maskWords returns the per-word lane masks covering the low n lanes of
+// a k-word sample.
+func maskWords(n, k int) []uint64 {
+	out := make([]uint64, k)
+	for w := range out {
+		rem := n - 64*w
+		if rem < 0 {
+			rem = 0
+		}
+		out[w] = laneMask(rem)
+	}
+	return out
+}
+
+// MaskLanes counts the set bits of a CompareBitTraces mask — the number
+// of disagreeing lanes.
+func MaskLanes(mask []uint64) int {
+	n := 0
+	for _, w := range mask {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// MaskHasLane reports whether lane l is set in a CompareBitTraces mask.
+func MaskHasLane(mask []uint64, l int) bool {
+	w := l / 64
+	return w < len(mask) && mask[w]>>(uint(l)%64)&1 == 1
+}
+
 // Lane extracts one lane as a scalar Trace. The result is freshly
 // allocated and stays valid after the next Run.
 func (t *BitTrace) Lane(l int) (Trace, error) {
 	if l < 0 || l >= t.Lanes {
 		return nil, fmt.Errorf("sim: lane %d outside 0..%d", l, t.Lanes-1)
 	}
+	k := t.wordsPer()
+	word, bit := l/64, uint(l)%64
 	out := make(Trace, len(t.Words))
-	bit := uint(l)
 	for name, row := range t.Words {
-		tr := make([]bool, len(row))
-		for cyc, w := range row {
-			tr[cyc] = w>>bit&1 == 1
+		tr := make([]bool, len(row)/k)
+		for cyc := range tr {
+			tr[cyc] = row[cyc*k+word]>>bit&1 == 1
 		}
 		out[name] = tr
 	}
@@ -38,40 +91,51 @@ func (t *BitTrace) Lane(l int) (Trace, error) {
 }
 
 // CompareBitTraces compares every signal present in both traces from
-// cycle warmup onward and returns a mask with bit l set when lane l
-// disagrees anywhere. Lanes beyond the smaller of the two traces' lane
-// counts are ignored. A zero result means all common lanes agree.
-func CompareBitTraces(a, b *BitTrace, warmup int) uint64 {
+// cycle warmup onward and returns a mask with bit l (bit l%64 of word
+// l/64) set when lane l disagrees anywhere. Lanes beyond the smaller of
+// the two traces' lane counts are ignored. An all-zero result means all
+// common lanes agree.
+func CompareBitTraces(a, b *BitTrace, warmup int) []uint64 {
 	lanes := a.Lanes
 	if b.Lanes < lanes {
 		lanes = b.Lanes
 	}
-	mask := laneMask(lanes)
-	var diff uint64
+	ka, kb := a.wordsPer(), b.wordsPer()
+	k := laneWords(lanes)
+	diff := make([]uint64, k)
 	for name, ra := range a.Words {
 		rb, ok := b.Words[name]
 		if !ok {
 			continue
 		}
-		n := len(ra)
-		if len(rb) < n {
-			n = len(rb)
+		n := len(ra) / ka
+		if nb := len(rb) / kb; nb < n {
+			n = nb
 		}
 		for cyc := warmup; cyc < n; cyc++ {
-			diff |= ra[cyc] ^ rb[cyc]
+			for w := 0; w < k; w++ {
+				diff[w] |= ra[cyc*ka+w] ^ rb[cyc*kb+w]
+			}
 		}
 	}
-	return diff & mask
+	for w, m := range maskWords(lanes, k) {
+		diff[w] &= m
+	}
+	return diff
 }
 
-// PackStimulus packs up to 64 scalar stimulus sets into lane words:
-// lanes[l][cycle][input] becomes bit l of words[cycle][input]. All lane
-// sets must have identical cycle count and input width; unused high
-// lanes are left zero.
+// PackStimulus packs up to MaxLanes scalar stimulus sets into lane
+// words, selecting the word count K = ceil(lanes/64) of the value
+// representation: lanes[l][cycle][input] becomes bit l%64 of
+// words[cycle][input*K + l/64]. All lane sets must have identical cycle
+// count and input width; unused high lanes are left zero. For up to 64
+// lanes K is 1 and the layout coincides with the historical
+// one-word-per-input form.
 func PackStimulus(lanes [][][]bool) ([][]uint64, error) {
-	if len(lanes) == 0 || len(lanes) > 64 {
-		return nil, fmt.Errorf("sim: pack needs 1..64 lanes, got %d", len(lanes))
+	if len(lanes) == 0 || len(lanes) > MaxLanes {
+		return nil, fmt.Errorf("sim: pack needs 1..%d lanes, got %d", MaxLanes, len(lanes))
 	}
+	k := laneWords(len(lanes))
 	cycles := len(lanes[0])
 	var width int
 	if cycles > 0 {
@@ -79,20 +143,20 @@ func PackStimulus(lanes [][][]bool) ([][]uint64, error) {
 	}
 	words := make([][]uint64, cycles)
 	for cyc := range words {
-		words[cyc] = make([]uint64, width)
+		words[cyc] = make([]uint64, width*k)
 	}
 	for l, stim := range lanes {
 		if len(stim) != cycles {
 			return nil, fmt.Errorf("sim: lane %d has %d cycles, want %d", l, len(stim), cycles)
 		}
-		bit := uint64(1) << uint(l)
+		word, bit := l/64, uint64(1)<<(uint(l)%64)
 		for cyc, vec := range stim {
 			if len(vec) != width {
 				return nil, fmt.Errorf("sim: lane %d cycle %d has %d inputs, want %d", l, cyc, len(vec), width)
 			}
 			for i, v := range vec {
 				if v {
-					words[cyc][i] |= bit
+					words[cyc][i*k+word] |= bit
 				}
 			}
 		}
@@ -100,15 +164,18 @@ func PackStimulus(lanes [][][]bool) ([][]uint64, error) {
 	return words, nil
 }
 
-// UnpackLane extracts one lane's scalar stimulus from packed words — the
-// inverse of PackStimulus for that lane.
-func UnpackLane(words [][]uint64, lane int) [][]bool {
-	bit := uint(lane)
+// UnpackLane extracts one lane's scalar stimulus from words packed with
+// stride k — the inverse of PackStimulus for that lane.
+func UnpackLane(words [][]uint64, k, lane int) [][]bool {
+	if k <= 0 {
+		k = 1
+	}
+	word, bit := lane/64, uint(lane)%64
 	out := make([][]bool, len(words))
 	for cyc, vec := range words {
-		row := make([]bool, len(vec))
-		for i, w := range vec {
-			row[i] = w>>bit&1 == 1
+		row := make([]bool, len(vec)/k)
+		for i := range row {
+			row[i] = vec[i*k+word]>>bit&1 == 1
 		}
 		out[cyc] = row
 	}

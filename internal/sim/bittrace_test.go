@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	c := pipeline(t)
+	// Lane counts straddling every interesting K: one word (K=1), an
+	// exact word boundary, word+1, and K=2/K=4 odd counts.
+	for _, lanes := range []int{1, 3, 64, 65, 100, 128, 129, 250} {
+		t.Run(fmt.Sprintf("lanes=%d", lanes), func(t *testing.T) {
+			cycles := 13 // odd vector count
+			scalar, words := packedRandom(t, c, cycles, lanes)
+			wantK := (lanes + 63) / 64
+			if len(words) > 0 && len(words[0]) != len(c.Inputs())*wantK {
+				t.Fatalf("packed row has %d words, want %d inputs x K=%d", len(words[0]), len(c.Inputs()), wantK)
+			}
+			for l := range scalar {
+				got := UnpackLane(words, wantK, l)
+				for cyc := range got {
+					for i := range got[cyc] {
+						if got[cyc][i] != scalar[l][cyc][i] {
+							t.Fatalf("lane %d cycle %d input %d: round trip lost %v", l, cyc, i, scalar[l][cyc][i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPackLaneZeroIdentity pins the layout contract the verification
+// flow depends on: lane 0 of a packed run is the historical seed
+// vector, bit for bit, at every K.
+func TestPackLaneZeroIdentity(t *testing.T) {
+	c := pipeline(t)
+	for _, lanes := range []int{1, 64, 128, 200} {
+		scalar, words := packedRandom(t, c, 9, lanes)
+		k := (lanes + 63) / 64
+		got := UnpackLane(words, k, 0)
+		for cyc := range got {
+			for i, v := range got[cyc] {
+				if v != scalar[0][cyc][i] {
+					t.Fatalf("lanes=%d: lane 0 not identical to its scalar stimulus at cycle %d input %d", lanes, cyc, i)
+				}
+				if words[cyc][i*k]&1 == 1 != v {
+					t.Fatalf("lanes=%d: lane 0 is not bit 0 of word 0 at cycle %d input %d", lanes, cyc, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPackStimulusRejects(t *testing.T) {
+	if _, err := PackStimulus(nil); err == nil {
+		t.Fatal("packing 0 lanes should fail")
+	}
+	if _, err := PackStimulus(make([][][]bool, MaxLanes+1)); err == nil {
+		t.Fatalf("packing %d lanes should fail", MaxLanes+1)
+	}
+	ragged := [][][]bool{{{true}}, {{true}, {false}}}
+	if _, err := PackStimulus(ragged); err == nil {
+		t.Fatal("packing ragged lanes should fail")
+	}
+	raggedWidth := [][][]bool{{{true, false}}, {{true}}}
+	if _, err := PackStimulus(raggedWidth); err == nil {
+		t.Fatal("packing ragged input widths should fail")
+	}
+}
+
+func TestBitTraceLaneBounds(t *testing.T) {
+	bt := &BitTrace{Lanes: 8, Words: map[string][]uint64{"x": {0xff}}}
+	if _, err := bt.Lane(8); err == nil {
+		t.Fatal("lane 8 of 8-lane trace should be out of range")
+	}
+	if _, err := bt.Lane(-1); err == nil {
+		t.Fatal("negative lane should be out of range")
+	}
+	tr, err := bt.Lane(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr["x"][0] {
+		t.Fatal("lane 7 bit lost")
+	}
+	// Multi-word: lane 64 is bit 0 of the second word of each sample.
+	wide := &BitTrace{Lanes: 65, K: 2, Words: map[string][]uint64{"y": {0, 1, 0, 0}}}
+	tr, err = wide.Lane(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr["y"]; len(got) != 2 || !got[0] || got[1] {
+		t.Fatalf("lane 64 of K=2 trace = %v, want [true false]", got)
+	}
+}
+
+func TestCompareBitTracesMask(t *testing.T) {
+	a := &BitTrace{Lanes: 4, Words: map[string][]uint64{"s": {0b0101, 0b0011}}}
+	b := &BitTrace{Lanes: 4, Words: map[string][]uint64{"s": {0b0101, 0b1010}, "extra": {1, 1}}}
+	if got := CompareBitTraces(a, b, 0); len(got) != 1 || got[0] != 0b1001 {
+		t.Fatalf("mismatch mask = %v, want [1001]", got)
+	}
+	if got := CompareBitTraces(a, b, 2); MaskLanes(got) != 0 {
+		t.Fatalf("warmup past divergence should clear mask, got %v", got)
+	}
+	// Lanes beyond the smaller trace's count are ignored.
+	b.Lanes = 2
+	if got := CompareBitTraces(a, b, 0); len(got) != 1 || got[0] != 0b01 {
+		t.Fatalf("clamped mask = %v, want [01]", got)
+	}
+}
+
+// TestCompareBitTracesWordBoundary checks mismatch localization when
+// the disagreeing lanes live in different words of a multi-word sample.
+func TestCompareBitTracesWordBoundary(t *testing.T) {
+	const lanes, k, cycles = 130, 3, 2
+	row := func() []uint64 { return make([]uint64, cycles*k) }
+	a := &BitTrace{Lanes: lanes, K: k, Words: map[string][]uint64{"s": row()}}
+	b := &BitTrace{Lanes: lanes, K: k, Words: map[string][]uint64{"s": row()}}
+	// Flip lane 63 (word 0) in cycle 0 and lanes 64 and 129 (words 1
+	// and 2) in cycle 1 on one side only.
+	b.Words["s"][0] = 1 << 63
+	b.Words["s"][k+1] = 1
+	b.Words["s"][k+2] = 1 << 1
+	mask := CompareBitTraces(a, b, 0)
+	if len(mask) != k {
+		t.Fatalf("mask has %d words, want %d", len(mask), k)
+	}
+	for _, want := range []int{63, 64, 129} {
+		if !MaskHasLane(mask, want) {
+			t.Fatalf("mask %v misses lane %d", mask, want)
+		}
+	}
+	if n := MaskLanes(mask); n != 3 {
+		t.Fatalf("mask credits %d lanes, want 3", n)
+	}
+	// Warmup past cycle 0 drops the word-0 mismatch but keeps the rest.
+	mask = CompareBitTraces(a, b, 1)
+	if MaskHasLane(mask, 63) || !MaskHasLane(mask, 64) || !MaskHasLane(mask, 129) {
+		t.Fatalf("warmup=1 mask %v, want lanes {64,129} only", mask)
+	}
+	// Lanes at or above the count never flag, even if stray high bits
+	// disagree inside the top word.
+	b.Words["s"][2] |= 1 << 40 // lane 168 > 129
+	mask = CompareBitTraces(a, b, 0)
+	if MaskHasLane(mask, 168) || MaskLanes(mask) != 3 {
+		t.Fatalf("out-of-range lane leaked into mask %v", mask)
+	}
+}
+
+// TestBitSimMultiWordLanes runs the zero-delay engine at K=2 and K=4
+// and checks every lane against the event engine — the multi-word
+// plumbing through words, scratch and trace must stay lanewise.
+func TestBitSimMultiWordLanes(t *testing.T) {
+	c := pipeline(t)
+	for _, lanes := range []int{96, 200} {
+		const cycles = 12
+		scalar, words := packedRandom(t, c, cycles, lanes)
+		bs, err := NewBit(c, BitOptions{Cycles: cycles, Lanes: lanes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bt, err := bs.Run(words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareAllLanes(t, c, 10, cycles, 0, scalar, bt)
+	}
+}

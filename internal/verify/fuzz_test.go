@@ -138,6 +138,72 @@ func FuzzBitSimAgainstEventSim(f *testing.F) {
 	})
 }
 
+// FuzzWaveBitSimAgainstEventSim is the differential target for the
+// word-parallel continuous-time engine on the circuits it exists for:
+// wave-pipelined optimized netlists, where flip-flops have been
+// replaced by latch delay units and multi-period logic waves. Whenever
+// the pipeline produces an optimized circuit, a 128-lane (two words
+// per value) WaveSim run at the optimized period must match the scalar
+// event engine on every lane, cycle for cycle, from cycle 0 — WaveSim
+// claims exactness, not zero-delay approximation, so there is no
+// calibration escape here.
+func FuzzWaveBitSimAgainstEventSim(f *testing.F) {
+	fuzzSeeds(f)
+	ck := NewChecker()
+	const lanes = 128
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := gen.DecodeCase(data)
+		if err != nil {
+			return
+		}
+		res, err := ck.optimize(d)
+		if err != nil || res == nil {
+			if err != nil && !isBenign(err) {
+				t.Fatalf("optimize: %v", err)
+			}
+			return
+		}
+		seeds := gen.LaneSeeds(d.StimSeed, lanes)
+		scalar := make([][][]bool, len(seeds))
+		for l, seed := range seeds {
+			scalar[l] = sim.RandomStimulus(res.Circuit, d.Cycles, seed)
+		}
+		words, err := sim.PackStimulus(scalar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, err := sim.NewWave(res.Circuit, ck.Lib, sim.WaveOptions{T: res.Period, Cycles: d.Cycles, Lanes: lanes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bt, err := ws.Run(words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bt.K != 2 {
+			t.Fatalf("128-lane trace packed K=%d words, want 2", bt.K)
+		}
+		ev, err := sim.New(res.Circuit, ck.Lib, sim.Options{T: res.Period, Cycles: d.Cycles})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l := range scalar {
+			ref, err := ev.Run(scalar[l])
+			if err != nil {
+				t.Fatal(err)
+			}
+			lane, err := bt.Lane(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mm := sim.CompareTraces(ref, lane, 0); len(mm) != 0 {
+				t.Fatalf("lane %d diverges from event engine at T=%g: %v\noptimized circuit:\n%s",
+					l, res.Period, mm[0], res.Circuit.String())
+			}
+		}
+	})
+}
+
 // FuzzDiscretize stresses the materialization stage: the applied circuit
 // must stay structurally valid, schedulable, and its register accounting
 // must match the plan (original DFFs - removed + inserted FF units).

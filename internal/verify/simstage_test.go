@@ -1,0 +1,180 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"virtualsync/internal/core"
+	"virtualsync/internal/gen"
+	"virtualsync/internal/netlist"
+	"virtualsync/internal/sim"
+)
+
+// fakeResult wraps a hand-built "optimized" circuit in the result shape
+// simStage consumes, so each engine-selection and re-confirmation path
+// can be pinned without steering the optimizer into producing it.
+func fakeResult(c *netlist.Circuit, baseT, T float64) *core.Result {
+	return &core.Result{Circuit: c, BaselinePeriod: baseT, Period: T}
+}
+
+// longPath builds in -> F1 -> NOT g1 -> NOT g2 -> NOT g3 -> F2 -> out:
+// structurally BitSim-exact, but with a three-gate combinational path
+// that outlives short clock periods.
+func longPath(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New("longpath")
+	in := c.MustAdd("in", netlist.KindInput)
+	f1 := c.MustAdd("F1", netlist.KindDFF, in.ID)
+	g1 := c.MustAdd("g1", netlist.KindNot, f1.ID)
+	g2 := c.MustAdd("g2", netlist.KindNot, g1.ID)
+	g3 := c.MustAdd("g3", netlist.KindNot, g2.ID)
+	f2 := c.MustAdd("F2", netlist.KindDFF, g3.ID)
+	c.MustAdd("out", netlist.KindOutput, f2.ID)
+	return c
+}
+
+// TestSimStageWaveBothSides drives simStage with a period short enough
+// that BOTH sides leave BitSim's proven-exact domain: the original runs
+// WaveSim too, so its extra event-engine calibration leg must execute
+// and the wide verdict must still come back clean.
+func TestSimStageWaveBothSides(t *testing.T) {
+	ck := NewChecker()
+	c := longPath(t)
+	d, err := ck.Lib.Delay(c.ByName("g1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two of the three gate delays: the path cannot settle, waves overlap.
+	T := ck.Lib.FF.Tcq + 2*d
+	dec := &gen.Decoded{Circuit: c, Cycles: 20, Warmup: 4, StimSeed: 3}
+	rep := &Report{Outcome: Pass}
+	ck.simStage(dec, fakeResult(c.Clone(), T, T), rep)
+	if rep.Outcome != Pass {
+		t.Fatalf("identical wave-regime pair failed: %+v", rep)
+	}
+	if !rep.FastPath {
+		t.Fatal("wave-regime pair did not take the bit-parallel fast path")
+	}
+	if rep.Lanes != ck.LaneWidth() {
+		t.Fatalf("credited %d lanes, want %d", rep.Lanes, ck.LaneWidth())
+	}
+}
+
+// TestSimStageLaneZeroFail pins the lane-0 discipline: a difference the
+// historical stimulus exposes must be re-confirmed through the pure
+// two-event-sim oracle, producing the byte-identical slow-path report
+// (Lanes 1, FailLane 0, no FastPath claim).
+func TestSimStageLaneZeroFail(t *testing.T) {
+	ck := NewChecker()
+	orig := netlist.New("p")
+	in := orig.MustAdd("in", netlist.KindInput)
+	f1 := orig.MustAdd("F1", netlist.KindDFF, in.ID)
+	g := orig.MustAdd("g", netlist.KindNot, f1.ID)
+	f2 := orig.MustAdd("F2", netlist.KindDFF, g.ID)
+	orig.MustAdd("out", netlist.KindOutput, f2.ID)
+
+	broken := orig.Clone()
+	broken.ByName("g").Kind = netlist.KindBuf
+	dec := &gen.Decoded{Circuit: orig, Cycles: 16, Warmup: 4, StimSeed: 5}
+	rep := &Report{Outcome: Pass}
+	ck.simStage(dec, fakeResult(broken, 1000, 1000), rep)
+	if rep.Outcome != Fail || rep.FailLane != 0 {
+		t.Fatalf("inverter-vs-buffer pair: %+v, want Fail at lane 0", rep)
+	}
+	if rep.FastPath || rep.Lanes != 1 {
+		t.Fatalf("lane-0 failure must report the scalar oracle shape, got fast=%v lanes=%d", rep.FastPath, rep.Lanes)
+	}
+	if len(rep.Mismatches) == 0 {
+		t.Fatal("lane-0 failure carries no mismatches")
+	}
+}
+
+// TestSimStageFlaggedLaneFail builds a bug only a widened lane exposes —
+// the circuits differ exactly when all four inputs are 1 in one cycle,
+// and the stimulus seed is chosen so lane 0 never produces that pattern
+// while some wider lane does. simStage must walk the flagged lanes,
+// confirm the difference on the event engine, re-verify it through the
+// full two-event-sim oracle, and fail naming the lane.
+func TestSimStageFlaggedLaneFail(t *testing.T) {
+	build := func(dropD bool) *netlist.Circuit {
+		c := netlist.New("and4")
+		a := c.MustAdd("a", netlist.KindInput)
+		b := c.MustAdd("b", netlist.KindInput)
+		cc := c.MustAdd("c", netlist.KindInput)
+		dd := c.MustAdd("d", netlist.KindInput)
+		last := dd.ID
+		if dropD {
+			last = c.MustAdd("zero", netlist.KindConst0).ID
+		}
+		g1 := c.MustAdd("g1", netlist.KindAnd, a.ID, b.ID)
+		g2 := c.MustAdd("g2", netlist.KindAnd, cc.ID, last)
+		g3 := c.MustAdd("g3", netlist.KindAnd, g1.ID, g2.ID)
+		f := c.MustAdd("F", netlist.KindDFF, g3.ID)
+		c.MustAdd("out", netlist.KindOutput, f.ID)
+		return c
+	}
+	orig := build(false)
+
+	ck := NewChecker()
+	const cycles, warmup = 16, 4
+	lanes := ck.LaneWidth()
+	seed, flagged := int64(-1), -1
+	allOnes := func(cyc []bool) bool { return cyc[0] && cyc[1] && cyc[2] && cyc[3] }
+	for s := int64(1); s < 400 && seed < 0; s++ {
+		stims := sim.LaneStimulus(orig, cycles, 0, s, lanes)
+		hit0 := false
+		for _, cyc := range stims[0] {
+			hit0 = hit0 || allOnes(cyc)
+		}
+		if hit0 {
+			continue
+		}
+		for l := 1; l < lanes; l++ {
+			for cyc := warmup; cyc < cycles-1; cyc++ {
+				if allOnes(stims[l][cyc]) {
+					seed, flagged = s, l
+					break
+				}
+			}
+			if seed >= 0 {
+				break
+			}
+		}
+	}
+	if seed < 0 {
+		t.Fatal("no stimulus seed separates lane 0 from the wider lanes")
+	}
+
+	dec := &gen.Decoded{Circuit: orig, Cycles: cycles, Warmup: warmup, StimSeed: seed}
+	rep := &Report{Outcome: Pass}
+	ck.simStage(dec, fakeResult(build(true), 1000, 1000), rep)
+	if rep.Outcome != Fail {
+		t.Fatalf("lane-%d-only bug not detected: %+v", flagged, rep)
+	}
+	if rep.FailLane < 1 {
+		t.Fatalf("failure attributed to lane %d, want a widened lane", rep.FailLane)
+	}
+	if !strings.HasPrefix(rep.Detail, "lane ") {
+		t.Fatalf("detail %q does not name the failing lane", rep.Detail)
+	}
+	if len(rep.Mismatches) == 0 {
+		t.Fatal("flagged-lane failure carries no authoritative mismatches")
+	}
+}
+
+// TestLaneWidth pins the lane-width resolution: default, passthrough,
+// and the hard MaxLanes cap.
+func TestLaneWidth(t *testing.T) {
+	ck := NewChecker()
+	if got := ck.LaneWidth(); got != 64 {
+		t.Fatalf("default lane width %d, want 64", got)
+	}
+	ck.Lanes = 128
+	if got := ck.LaneWidth(); got != 128 {
+		t.Fatalf("explicit lane width %d, want 128", got)
+	}
+	ck.Lanes = sim.MaxLanes * 2
+	if got := ck.LaneWidth(); got != sim.MaxLanes {
+		t.Fatalf("lane width %d not capped at %d", got, sim.MaxLanes)
+	}
+}

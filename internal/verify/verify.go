@@ -1,10 +1,12 @@
 // Package verify is the end-to-end differential verification harness for
 // the VirtualSync pipeline. It runs the full optimization flow
 // (extraction → LP relaxation → legalization → discretization → buffer
-// replacement) on generated circuits and checks, by event simulation
-// under randomized stimulus, that the optimized netlist latches the same
-// values at every surviving flip-flop and primary output in the same
-// cycles as the original — the paper's core correctness claim.
+// replacement) on generated circuits and checks, by bit-parallel
+// differential simulation under randomized stimulus with the scalar
+// event engine as calibration oracle, that the optimized netlist
+// latches the same values at every surviving flip-flop and primary
+// output in the same cycles as the original — the paper's core
+// correctness claim.
 //
 // The harness has three consumers: native Go fuzz targets (fuzz_test.go)
 // over the byte-string decoder in internal/gen, the cmd/vfuzz CLI, and a
@@ -65,10 +67,11 @@ type Report struct {
 	// Result is the optimization result, when one was produced.
 	Result *core.Result
 	// Lanes counts the independent stimulus vectors that contributed to
-	// the verdict: 1 on the event-engine path, 64 on the bit-parallel
-	// fast path. Zero when the case never reached simulation.
+	// the verdict: 1 on the event-engine path, up to the checker's lane
+	// width on the bit-parallel fast path. Zero when the case never
+	// reached simulation.
 	Lanes int
-	// FastPath marks verdicts produced by the bit-parallel engine with
+	// FastPath marks verdicts produced by the bit-parallel engines with
 	// event-engine calibration; false means the pure event oracle ran.
 	FastPath bool
 	// FailLane is the stimulus lane whose event-engine confirmation
@@ -105,6 +108,10 @@ type Checker struct {
 	// bit-parallel fast path applies — the escape hatch and the
 	// benchmarking baseline.
 	DisableBitSim bool
+	// Lanes selects the fast path's stimulus width, 1..sim.MaxLanes;
+	// 0 means the default 64. Widths beyond 64 pack multiple machine
+	// words per value (K = ceil(Lanes/64)).
+	Lanes int
 }
 
 // NewChecker returns a checker over the default cell library and paper
@@ -207,39 +214,53 @@ func (ck *Checker) Check(d *gen.Decoded) (rep *Report) {
 	return rep
 }
 
-// laneCount is the stimulus-vector width of the bit-parallel fast path:
-// one lane per bit of a machine word.
-const laneCount = 64
+// defaultLanes is the fast path's stimulus width when the checker does
+// not select one: one lane per bit of a machine word.
+const defaultLanes = 64
 
 // confirmLaneCap bounds how many mismatching lanes get an event-engine
 // confirmation run before the checker settles for the lane-0 verdict.
 const confirmLaneCap = 8
 
+// LaneWidth reports the effective fast-path stimulus width: the
+// configured Lanes after applying the default and the sim.MaxLanes cap.
+func (ck *Checker) LaneWidth() int { return ck.laneCount() }
+
+// laneCount resolves the checker's configured lane width.
+func (ck *Checker) laneCount() int {
+	switch {
+	case ck.Lanes <= 0:
+		return defaultLanes
+	case ck.Lanes > sim.MaxLanes:
+		return sim.MaxLanes
+	}
+	return ck.Lanes
+}
+
 // simStage runs the differential simulation and writes the verdict into
 // rep.
 //
-// The fast path rests on an asymmetry between the two circuits. The
-// original is a phase-0 flip-flop design, where the bit-parallel
-// zero-delay engine is provably exact (sim.BitSimExact; continuously
-// cross-checked by FuzzBitSimAgainstEventSim), so its event simulation
-// is replaced outright by one BitSim run covering 64 stimulus lanes.
-// The optimized circuit is different in kind: VirtualSync turns wire
-// delay itself into a functional element, so a multi-period logic wave
-// carries state that zero-delay semantics collapse — the event engine
-// stays its only trustworthy simulator and runs once, on the historical
-// lane-0 stimulus. The lane-0 verdict (event-simulated optimized trace
-// against the exact original trace) is therefore as strict as the old
-// two-event-sim oracle at roughly half the cost; any lane-0 mismatch is
-// re-confirmed by the pure event path before it becomes a Fail, keeping
-// the shrinker and regression flow byte-identical.
+// Both sides of the fast path run bit-parallel, each on the cheapest
+// engine that is exact for it: the zero-delay BitSim for phase-0
+// flip-flop designs (sim.BitSimExact — every generated original), the
+// word-parallel continuous-time WaveSim for circuits carrying
+// multi-period logic waves (every optimized circuit). The scalar event
+// engine is demoted to a calibration oracle: it simulates the
+// optimized circuit once on the historical lane-0 stimulus (and the
+// original too, when that side needed WaveSim), and lane 0 of each
+// word engine must reproduce its trace exactly before any wide verdict
+// is trusted. The lane-0 verdict itself — event-simulated optimized
+// trace against the exact original trace — is therefore as strict as
+// the old two-event-sim oracle; any lane-0 mismatch is re-confirmed by
+// the pure event path before it becomes a Fail, keeping the shrinker
+// and regression flow byte-identical.
 //
-// Lanes 1..63 are opportunistic extra coverage: when the optimized
-// circuit also runs under BitSim and its lane 0 calibrates cleanly
-// against the event trace, the remaining lanes are compared word-wise.
-// Flagged lanes are confirmed by the event engine (first unconfirmed
-// flag stops the scan — zero-delay is evidently unfaithful for this
-// circuit and further flags are artifacts); only event-confirmed
-// mismatches Fail. Coverage is credited per lane actually proven.
+// Lanes 1.. are wide coverage: the word traces are compared lanewise
+// and any flagged lane is confirmed by the event engine (up to
+// confirmLaneCap), then re-verified through the full two-event-sim
+// oracle before it Fails, so counterexamples reaching the shrinker and
+// regression corpus are always authoritative-engine products. Coverage
+// is credited per lane actually proven.
 func (ck *Checker) simStage(d *gen.Decoded, res *core.Result, rep *Report) {
 	// Zero-reset prefix: feedback state is flushed through input-driven
 	// masks before random stimulus starts, so post-warmup comparison never
@@ -273,34 +294,29 @@ func (ck *Checker) simStage(d *gen.Decoded, res *core.Result, rep *Report) {
 		}
 	}
 
-	if ck.DisableBitSim || !sim.BitSimExact(d.Circuit) || !sameInputs(d.Circuit, res.Circuit) {
+	if ck.DisableBitSim || !sameInputs(d.Circuit, res.Circuit) {
 		slow()
 		return
 	}
 
-	seeds := gen.LaneSeeds(d.StimSeed, laneCount)
-	scalar := make([][][]bool, laneCount)
-	for l, seed := range seeds {
-		scalar[l] = sim.ResetStimulus(d.Circuit, d.Cycles, reset, seed)
-	}
-	words, err := sim.PackStimulus(scalar)
+	lanes := ck.laneCount()
+	scalar := sim.LaneStimulus(d.Circuit, d.Cycles, reset, d.StimSeed, lanes)
+	lr, err := sim.VerifyEquivalenceLanes(d.Circuit, res.Circuit, ck.Lib,
+		res.BaselinePeriod, res.Period, d.Warmup, scalar)
 	if err != nil {
-		slow()
-		return
-	}
-	btOrig, err := runBit(d.Circuit, d.Cycles, words)
-	if err != nil {
-		slow()
-		return
-	}
-	origLane0, err := btOrig.Lane(0)
-	if err != nil {
+		// An engine rejected the pair (e.g. zero-delay settle failure);
+		// not a verdict — the event oracle decides.
 		slow()
 		return
 	}
 
-	// The one event simulation of the exec: the optimized circuit on the
-	// historical lane-0 stimulus. Errors here Fail, as on the old path.
+	// Calibration: the scalar event engine stays the authority. It
+	// simulates the optimized circuit on the historical lane-0 stimulus
+	// (errors here Fail, as on the old path), and lane 0 of the word
+	// engine must reproduce its trace exactly — WaveSim is exact by
+	// construction, so a calibration miss means an engine bug, and the
+	// case falls back to the pure oracle rather than trusting either
+	// fast engine.
 	evSim, err := sim.New(res.Circuit, ck.Lib, sim.Options{T: res.Period, Cycles: d.Cycles})
 	if err != nil {
 		fail(err.Error(), nil, -1)
@@ -311,55 +327,68 @@ func (ck *Checker) simStage(d *gen.Decoded, res *core.Result, rep *Report) {
 		fail(err.Error(), nil, -1)
 		return
 	}
+	optLane0, err := lr.TraceB.Lane(0)
+	if err != nil {
+		slow()
+		return
+	}
+	if len(sim.CompareTraces(evOpt, optLane0, d.Warmup)) > 0 {
+		slow()
+		return
+	}
+	origLane0, err := lr.TraceA.Lane(0)
+	if err != nil {
+		slow()
+		return
+	}
+	if lr.EngineA == sim.EngineWaveSim {
+		// The original was outside BitSim's proven-exact domain and ran
+		// on WaveSim too; calibrate that side against the event engine
+		// as well before trusting any wide verdict.
+		evA, err := sim.New(d.Circuit, ck.Lib, sim.Options{T: res.BaselinePeriod, Cycles: d.Cycles})
+		if err != nil {
+			slow()
+			return
+		}
+		ta, err := evA.Run(scalar[0])
+		if err != nil {
+			slow()
+			return
+		}
+		if len(sim.CompareTraces(ta, origLane0, d.Warmup)) > 0 {
+			slow()
+			return
+		}
+	}
 	if ms := sim.CompareTraces(origLane0, evOpt, d.Warmup); len(ms) > 0 {
-		// Before this becomes a Fail, the full event-engine oracle must
-		// agree: a shrinker- and regression-compatible counterexample
-		// needs both traces from the authoritative engine, and a
-		// (theoretically impossible) BitSim infidelity on the original
-		// must not fabricate failures.
+		// Lane 0 disagrees. Before this becomes a Fail, the full
+		// two-event-sim oracle must agree: a shrinker- and
+		// regression-compatible counterexample needs both traces from
+		// the authoritative engine.
 		slow()
 		return
 	}
 	rep.FastPath = true
 	rep.Lanes = 1
 
-	// Lane-0 equivalence is established; try to widen coverage to all 64
-	// lanes. That needs the optimized circuit inside BitSim's domain AND
-	// zero-delay semantics faithful to the event engine on lane 0 —
-	// circuits carrying true multi-period waves fail the calibration and
-	// keep the (already sound) single-lane verdict.
-	if !sim.SupportsBitSim(res.Circuit) {
+	mask := lr.Mask
+	if sim.MaskLanes(mask) == 0 {
+		rep.Lanes = lanes
 		return
 	}
-	btOpt, err := runBit(res.Circuit, d.Cycles, words)
-	if err != nil {
-		return
-	}
-	optLane0, err := btOpt.Lane(0)
-	if err != nil {
-		return
-	}
-	if cal := sim.CompareTraces(evOpt, optLane0, d.Warmup); len(cal) > 0 {
-		return
-	}
-
-	mask := sim.CompareBitTraces(btOrig, btOpt, d.Warmup)
-	if mask == 0 {
-		rep.Lanes = laneCount
-		return
-	}
-	// Some widened lane disagrees (lane 0 cannot: both engines agree
-	// with evOpt there). Only the event engine can declare a bug, so
-	// re-simulate the optimized circuit on each flagged lane's stimulus,
-	// lowest-first up to the cap, and compare against the exact original
-	// trace. A lane the event engine clears was a zero-delay artifact; a
-	// lane it confirms is re-verified through the full two-event-sim
-	// oracle before it Fails, so counterexamples reaching the shrinker
-	// and regression corpus are always authoritative-engine products.
+	// Some widened lane disagrees (lane 0 cannot: both word engines
+	// agree with evOpt there). Only the event engine can declare a bug,
+	// so re-simulate the optimized circuit on each flagged lane's
+	// stimulus, lowest-first up to the cap, and compare against the
+	// bit-parallel original trace. A lane the event engine clears was an
+	// engine artifact; a lane it confirms is re-verified through the
+	// full two-event-sim oracle before it Fails, so counterexamples
+	// reaching the shrinker and regression corpus are always
+	// authoritative-engine products.
 	cleared := 0
 	checked := 0
-	for l := 1; l < laneCount && checked < confirmLaneCap; l++ {
-		if mask>>uint(l)&1 == 0 {
+	for l := 1; l < lanes && checked < confirmLaneCap; l++ {
+		if !sim.MaskHasLane(mask, l) {
 			continue
 		}
 		checked++
@@ -368,7 +397,7 @@ func (ck *Checker) simStage(d *gen.Decoded, res *core.Result, rep *Report) {
 			fail(err.Error(), nil, l)
 			return
 		}
-		laneL, err := btOrig.Lane(l)
+		laneL, err := lr.TraceA.Lane(l)
 		if err != nil {
 			break
 		}
@@ -383,12 +412,12 @@ func (ck *Checker) simStage(d *gen.Decoded, res *core.Result, rep *Report) {
 			return
 		}
 		if len(ms) > 0 {
-			rep.Lanes = laneCount
+			rep.Lanes = lanes
 			fail(fmt.Sprintf("lane %d: %d trace mismatches, first %v", l, len(ms), ms[0]), ms, l)
 			return
 		}
 	}
-	rep.Lanes = laneCount - popcount(mask) + cleared
+	rep.Lanes = lanes - sim.MaskLanes(mask) + cleared
 }
 
 // sameInputs reports whether both circuits expose identical primary
@@ -405,23 +434,6 @@ func sameInputs(a, b *netlist.Circuit) bool {
 		}
 	}
 	return true
-}
-
-func popcount(x uint64) int {
-	n := 0
-	for ; x != 0; x &= x - 1 {
-		n++
-	}
-	return n
-}
-
-// runBit executes one bit-parallel simulation over packed stimulus.
-func runBit(c *netlist.Circuit, cycles int, words [][]uint64) (*sim.BitTrace, error) {
-	bs, err := sim.NewBit(c, sim.BitOptions{Cycles: cycles, Lanes: laneCount})
-	if err != nil {
-		return nil, err
-	}
-	return bs.Run(words)
 }
 
 // optimize runs the configured optimization flow. A (nil, nil) return
